@@ -1,0 +1,33 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#ifndef DNNV_BENCH_BENCH_COMMON_H_
+#define DNNV_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+
+#include "exp/model_zoo.h"
+#include "util/cli.h"
+
+namespace dnnv::bench {
+
+/// Standard zoo options for benches: cache under .cache/dnnv (or
+/// $DNNV_CACHE_DIR), training progress on stderr, paper-scale opt-in.
+inline exp::ZooOptions zoo_options(const CliArgs& args) {
+  exp::ZooOptions options;
+  options.verbose = true;
+  options.paper_scale = args.get_bool("paper-scale", false);
+  options.retrain = args.get_bool("retrain", false);
+  return options;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "==================================================================\n";
+}
+
+}  // namespace dnnv::bench
+
+#endif  // DNNV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Extension — memory bit-flip detection on the int8 accelerator IP: how
+// often the functional-test suite catches a single-bit fault, by bit
+// position (sign bit vs low-order bits) and by layer.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "coverage/parameter_coverage.h"
+#include "ip/fault_injector.h"
+#include "ip/quantized_ip.h"
+#include "testgen/combined_generator.h"
+#include "util/table.h"
+#include "validate/test_suite.h"
+#include "validate/validator.h"
+
+int main(int argc, char** argv) {
+  using namespace dnnv;
+  const CliArgs args(argc, argv, {"trials", "tests", "paper-scale", "retrain"});
+  const int trials = args.get_int("trials", 150);
+  const int max_tests = args.get_int("tests", 30);
+  bench::banner("bench_ext_quantized_bitflip",
+                "extension — single-bit memory faults on the int8 IP");
+
+  const auto options = bench::zoo_options(args);
+  auto trained = exp::cifar_relu(options);
+  const auto pool = exp::shapes_train(400);
+
+  // Generate the functional-test suite with the combined method.
+  cov::CoverageAccumulator acc(
+      static_cast<std::size_t>(trained.model.param_count()));
+  testgen::CombinedGenerator::Options gen_options;
+  gen_options.max_tests = max_tests;
+  gen_options.coverage = trained.coverage;
+  gen_options.gradient.coverage = trained.coverage;
+  gen_options.gradient.steps = 60;
+  const auto tests = testgen::CombinedGenerator(gen_options)
+                         .generate(trained.model, pool.images,
+                                   trained.item_shape, trained.num_classes, acc);
+
+  // Golden labels from the quantised IP itself (the shipped artefact).
+  ip::QuantizedIp quantized(trained.model, trained.item_shape);
+  std::vector<Tensor> inputs;
+  for (const auto& test : tests.tests) inputs.push_back(test.input);
+  const auto golden = quantized.predict_all(inputs);
+  std::cout << "suite: " << inputs.size() << " tests, VC "
+            << format_percent(acc.coverage()) << ", memory "
+            << quantized.memory_size() << " bytes (int8 weights)\n"
+            << "max quantisation error: " << quantized.max_quantization_error()
+            << "\n\n";
+
+  auto detects = [&]() {
+    const auto labels = quantized.predict_all(inputs);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] != golden[i]) return true;
+    }
+    return false;
+  };
+
+  ip::FaultInjector injector(quantized);
+  TablePrinter table({"bit position", "weight delta (quanta)", "detected",
+                      "detection rate"});
+  Rng rng(2024);
+  for (const int bit : {7, 6, 4, 2, 0}) {
+    int detected = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::size_t address = rng.uniform_u64(quantized.memory_size());
+      const auto fault = injector.inject_bit_flip(address, bit);
+      if (detects()) ++detected;
+      injector.revert(fault);
+    }
+    const int delta = 1 << bit;
+    table.add_row({"bit " + std::to_string(bit) +
+                       (bit == 7 ? " (sign)" : ""),
+                   std::to_string(delta), std::to_string(detected) + "/" +
+                       std::to_string(trials),
+                   format_percent(static_cast<double>(detected) / trials)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: detection falls with bit significance — the "
+               "sign bit moves a weight by 128 quanta and is caught most "
+               "often; low-order bits are sub-quantisation-noise.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Fig 3 — validation coverage vs number of functional tests for the three
+// generation methods (training-set selection / gradient synthesis / combined)
+// plus a random-selection control, on the CIFAR model.
+//
+// Paper shape: selection is best early (20 tests ≈ 82%) but saturates (the
+// whole training set leaves ~8% never activated); gradient synthesis starts
+// lower but keeps climbing; the combined method dominates (30 tests ≈ 92%).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "coverage/parameter_coverage.h"
+#include "testgen/combined_generator.h"
+#include "testgen/gradient_generator.h"
+#include "testgen/greedy_selector.h"
+#include "testgen/neuron_selector.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dnnv;
+
+/// Coverage value after `n` tests from a trajectory (coverage_after).
+std::string at(const testgen::GenerationResult& result, int n) {
+  if (result.coverage_after.empty()) return "-";
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(n), result.coverage_after.size()) - 1;
+  return format_percent(result.coverage_after[idx]);
+}
+
+}  // namespace
+
+namespace {
+
+int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
+                  const exp::ZooOptions& options) {
+  auto trained = which == "mnist" ? exp::mnist_tanh(options)
+                                  : exp::cifar_relu(options);
+  const auto pool = which == "mnist" ? exp::digits_train(pool_size)
+                                     : exp::shapes_train(pool_size);
+  const auto universe = static_cast<std::size_t>(trained.model.param_count());
+  std::cout << "model: " << trained.name << ", candidate pool: " << pool_size
+            << " training samples, budget: " << budget << " tests\n\n";
+
+  Stopwatch timer;
+  std::cout << "computing pool activation masks (parallel)...\n";
+  const auto masks =
+      cov::activation_masks(trained.model, pool.images, trained.coverage);
+  std::cout << "  done in " << timer.elapsed_seconds() << "s\n";
+
+  // Method 1: Algorithm 1 (greedy training-set selection).
+  timer.reset();
+  cov::CoverageAccumulator acc_greedy(universe);
+  testgen::GreedySelector::Options greedy_options;
+  greedy_options.max_tests = budget;
+  greedy_options.coverage = trained.coverage;
+  std::vector<bool> used(pool.images.size(), false);
+  const auto greedy = testgen::GreedySelector(greedy_options)
+                          .select_with_masks(pool.images, masks, acc_greedy, used);
+  std::cout << "Algorithm 1 (training-set selection): "
+            << timer.elapsed_seconds() << "s\n";
+
+  // Whole-pool ceiling: how much the entire candidate set can ever activate
+  // (paper: ~8% of CIFAR parameters are never activated by the training set).
+  cov::CoverageAccumulator ceiling(universe);
+  for (const auto& mask : masks) ceiling.add(mask);
+
+  // Method 2: Algorithm 2 (gradient-based synthesis) alone.
+  timer.reset();
+  cov::CoverageAccumulator acc_gradient(universe);
+  testgen::GradientGenerator::Options gradient_options;
+  gradient_options.max_tests = budget;
+  gradient_options.coverage = trained.coverage;
+  gradient_options.steps = 60;
+  const auto gradient =
+      testgen::GradientGenerator(gradient_options)
+          .generate(trained.model, trained.item_shape, trained.num_classes,
+                    acc_gradient);
+  std::cout << "Algorithm 2 (gradient synthesis):     "
+            << timer.elapsed_seconds() << "s\n";
+
+  // Method 3: combined (paper §IV-D).
+  timer.reset();
+  cov::CoverageAccumulator acc_combined(universe);
+  testgen::CombinedGenerator::Options combined_options;
+  combined_options.max_tests = budget;
+  combined_options.coverage = trained.coverage;
+  combined_options.gradient = gradient_options;
+  const auto combined =
+      testgen::CombinedGenerator(combined_options)
+          .generate(trained.model, pool.images, masks, trained.item_shape,
+                    trained.num_classes, acc_combined);
+  std::cout << "Combined method:                      "
+            << timer.elapsed_seconds() << "s\n";
+
+  // Control: random selection from the pool.
+  const auto random_picks = testgen::RandomSelector(budget, 17).select(pool.images);
+  cov::CoverageAccumulator acc_random(universe);
+  testgen::GenerationResult random_result = random_picks;
+  for (auto& test : random_result.tests) {
+    acc_random.add(masks[static_cast<std::size_t>(test.pool_index)]);
+    random_result.coverage_after.push_back(acc_random.coverage());
+  }
+  random_result.final_coverage = acc_random.coverage();
+
+  std::cout << "\n";
+  TablePrinter table({"#tests", "Alg 1 (select)", "Alg 2 (gradient)",
+                      "Combined", "Random control"});
+  for (const int n : {1, 5, 10, 20, 30, 40, 50, 80, 120}) {
+    if (n > budget) break;
+    table.add_row({std::to_string(n), at(greedy, n), at(gradient, n),
+                   at(combined, n), at(random_result, n)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nwhole-pool ceiling (" << pool_size
+            << " samples): " << format_percent(ceiling.coverage())
+            << "  -> never activated by the candidate set: "
+            << format_percent(1.0 - ceiling.coverage())
+            << " (paper: ~8% for the full CIFAR training set)\n";
+  int synthetic = 0;
+  for (const auto& test : combined.tests) {
+    if (test.source == testgen::TestSource::kSynthetic) ++synthetic;
+  }
+  std::cout << "combined method switch profile: "
+            << (static_cast<int>(combined.tests.size()) - synthetic)
+            << " training samples, then " << synthetic << " synthetic tests\n";
+  std::cout << "paper reference points (CIFAR): Alg1 20->82%, Alg2 10->66%, "
+               "combined 30->92%\n";
+  if (which != "mnist") {
+    std::cout << "NOTE (ReLU model): parameters behind permanently-dead ReLU "
+                 "units are unreachable by ANY input in this scaled-down "
+                 "substrate (see EXPERIMENTS.md), which caps all methods at "
+                 "the same ceiling; the Tanh model below shows the full "
+                 "crossover dynamics.\n";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"pool", "budget", "model", "paper-scale", "retrain"});
+  const auto pool_size = static_cast<std::int64_t>(args.get_int("pool", 400));
+  const int budget = args.get_int("budget", 60);
+  const std::string which = args.get_string("model", "both");
+  bench::banner("bench_fig3_methods",
+                "Fig 3 — coverage vs #tests: selection / gradient / combined");
+  const auto options = bench::zoo_options(args);
+  if (which == "both") {
+    run_for_model("cifar", pool_size, budget, options);
+    return run_for_model("mnist", pool_size, budget, options);
+  }
+  return run_for_model(which, pool_size, budget, options);
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: GEMM, conv
+// forward/backward, the two coverage passes, and bitset set algebra.
+#include <benchmark/benchmark.h>
+
+#include "coverage/parameter_coverage.h"
+#include "nn/builder.h"
+#include "nn/loss.h"
+#include "tensor/batch.h"
+#include "tensor/gemm.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dnnv;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+nn::Sequential bench_convnet(Rng& rng) {
+  nn::ConvNetSpec spec;
+  spec.in_channels = 3;
+  spec.in_height = 32;
+  spec.in_width = 32;
+  spec.conv_channels = {16, 16, 32, 32};
+  spec.dense_units = {128};
+  spec.num_classes = 10;
+  return nn::build_convnet(spec, rng);
+}
+
+void BM_ConvNetForward(benchmark::State& state) {
+  Rng rng(2);
+  auto model = bench_convnet(rng);
+  const auto batch = state.range(0);
+  Rng data_rng(3);
+  const Tensor input =
+      Tensor::rand_uniform(Shape{batch, 3, 32, 32}, data_rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor logits = model.forward(input);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvNetForward)->Arg(1)->Arg(16)->Arg(50);
+
+void BM_ConvNetBackward(benchmark::State& state) {
+  Rng rng(4);
+  auto model = bench_convnet(rng);
+  Rng data_rng(5);
+  const Tensor input =
+      Tensor::rand_uniform(Shape{8, 3, 32, 32}, data_rng, 0.0f, 1.0f);
+  const std::vector<int> labels{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    const Tensor logits = model.forward(input);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    model.zero_grads();
+    Tensor grad = model.backward(loss.grad_logits);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ConvNetBackward);
+
+void BM_CoverageMask(benchmark::State& state) {
+  const bool exact = state.range(0) != 0;
+  Rng rng(6);
+  auto model = bench_convnet(rng);
+  cov::CoverageConfig config;
+  config.engine = exact ? cov::CoverageEngine::kPerClassExact
+                        : cov::CoverageEngine::kAbsSensitivity;
+  cov::ParameterCoverage coverage(model, config);
+  Rng data_rng(7);
+  const Tensor input = Tensor::rand_uniform(Shape{3, 32, 32}, data_rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    DynamicBitset mask = coverage.activation_mask(input);
+    benchmark::DoNotOptimize(mask.count());
+  }
+}
+BENCHMARK(BM_CoverageMask)->Arg(0)->Arg(1)->ArgNames({"exact"});
+
+void BM_BitsetMarginalGain(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  DynamicBitset covered(bits);
+  DynamicBitset candidate(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.flip(0.4)) covered.set(i);
+    if (rng.flip(0.4)) candidate.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(covered.count_new_bits(candidate));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_BitsetMarginalGain)->Arg(55042)->Arg(280218);
+
+}  // namespace
+
+BENCHMARK_MAIN();

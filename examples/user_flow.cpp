@@ -1,0 +1,68 @@
+// User flow — what an IP licensee runs after receiving the artifacts from
+// vendor_flow (paper Fig 1 right): load the package, replay the tests
+// against the black-box IP, and report SECURE / TAMPERED. Pass --tamper to
+// simulate a supply-chain attack on the model file before validation.
+//
+// Usage:
+//   ./build/examples/vendor_flow --out vendor_release
+//   ./build/examples/user_flow   --in vendor_release [--tamper] [--key 987654321]
+#include <iostream>
+
+#include "attack/random_perturbation.h"
+#include "ip/reference_ip.h"
+#include "nn/sequential.h"
+#include "util/error.h"
+#include "util/cli.h"
+#include "validate/test_suite.h"
+#include "validate/validator.h"
+
+int main(int argc, char** argv) {
+  using namespace dnnv;
+  const CliArgs args(argc, argv, {"in", "key", "tamper"});
+  const std::string in_dir = args.get_string("in", "vendor_release");
+  const auto key = static_cast<std::uint64_t>(args.get_int("key", 987654321));
+  const bool tamper = args.get_bool("tamper", false);
+
+  std::cout << "=== DNN IP user validation flow ===\n";
+  std::cout << "loading test package " << in_dir << "/functional_tests.pkg\n";
+  validate::TestSuite suite;
+  try {
+    suite = validate::TestSuite::load_package(in_dir + "/functional_tests.pkg", key);
+  } catch (const Error& error) {
+    std::cerr << "package rejected: " << error.what() << "\n"
+              << "(run examples/vendor_flow first, and check the key)\n";
+    return 1;
+  }
+  std::cout << "  " << suite.size() << " functional tests with golden outputs\n";
+
+  std::cout << "loading the delivered IP (black box from here on)\n";
+  nn::Sequential model = nn::Sequential::load_file(in_dir + "/ip_model.dnnv");
+
+  if (tamper) {
+    // Simulate an in-transit parameter substitution: a sparse random
+    // corruption the user cannot see from the binary alone.
+    std::cout << "[simulating in-transit parameter tampering]\n";
+    attack::RandomPerturbation::Options options;
+    options.num_params = 16;
+    options.relative_sigma = 8.0f;
+    Rng rng(1337);
+    auto payload = attack::RandomPerturbation(options).craft(
+        model, suite.inputs().front(), rng);
+    payload.apply(model);
+  }
+
+  // Black-box view: the user only sees predicted labels.
+  std::vector<std::int64_t> dims(suite.inputs().front().shape().dims());
+  ip::ReferenceIp ip(model, Shape{dims});
+
+  const auto verdict = validate::validate_ip(ip, suite);
+  std::cout << "\nran " << verdict.tests_run << " tests: ";
+  if (verdict.passed) {
+    std::cout << "all golden outputs matched -> IP is SECURE\n";
+  } else {
+    std::cout << verdict.num_failures
+              << " mismatches (first at test #" << verdict.first_failure
+              << ") -> IP is TAMPERED — do not deploy\n";
+  }
+  return verdict.passed ? 0 : 2;
+}

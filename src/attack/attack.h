@@ -1,0 +1,33 @@
+// Attack interface: craft a parameter perturbation that compromises the IP.
+#ifndef DNNV_ATTACK_ATTACK_H_
+#define DNNV_ATTACK_ATTACK_H_
+
+#include "attack/perturbation.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dnnv::attack {
+
+/// Base class for parameter-space attacks (Liu et al., ICCAD 2017 threat
+/// model: the adversary can modify stored parameters, e.g. in off-chip
+/// memory after reverse engineering).
+///
+/// craft() must leave `model` with its ORIGINAL parameters (attacks may
+/// mutate it during the search but restore before returning); the returned
+/// Perturbation is applied by the caller.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Crafts a perturbation intended to misclassify `victim` (whose clean
+  /// prediction the attack reads from the model). Returns an empty
+  /// perturbation when no compromising perturbation was found.
+  virtual Perturbation craft(nn::Sequential& model, const Tensor& victim,
+                             Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dnnv::attack
+
+#endif  // DNNV_ATTACK_ATTACK_H_

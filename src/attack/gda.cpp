@@ -1,0 +1,110 @@
+#include "attack/gda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "nn/loss.h"
+#include "tensor/batch.h"
+#include "util/error.h"
+
+namespace dnnv::attack {
+
+Perturbation GradientDescentAttack::craft(nn::Sequential& model,
+                                          const Tensor& victim,
+                                          Rng& rng) const {
+  const Tensor batched = stack_batch({victim});
+  const Tensor clean_logits = model.forward(batched);
+  const std::int64_t k = clean_logits.shape()[1];
+  const std::int64_t clean = argmax(clean_logits);
+
+  // Random wrong target (stealthy targeted misclassification).
+  std::int64_t target = static_cast<std::int64_t>(rng.uniform_u64(
+      static_cast<std::uint64_t>(k - 1)));
+  if (target >= clean) ++target;
+
+  std::map<std::int64_t, float> accumulated;  // global index -> total delta
+  std::map<std::int64_t, float> originals;    // exact pre-attack values
+  bool flipped = false;
+
+  for (int iter = 0; iter < options_.max_iterations && !flipped; ++iter) {
+    const Tensor logits = model.forward(batched);
+    const nn::LossResult loss =
+        nn::softmax_cross_entropy(logits, {static_cast<int>(target)});
+    model.zero_grads();
+    model.backward(loss.grad_logits);
+
+    // Rank parameters by gradient magnitude; update only the top-m.
+    std::vector<std::pair<float, std::int64_t>> ranked;
+    std::int64_t base = 0;
+    for (const auto& view : model.param_views()) {
+      for (std::int64_t i = 0; i < view.size; ++i) {
+        const float g = view.grad[i];
+        if (g != 0.0f) ranked.emplace_back(std::fabs(g), base + i);
+      }
+      base += view.size;
+    }
+    if (ranked.empty()) break;
+    const std::size_t m = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.params_per_step), ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(m),
+                      ranked.end(), std::greater<>());
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int64_t index = ranked[j].second;
+      const float grad = model.get_grad(index);
+      // Sign step scaled by relative gradient magnitude: step sizes stay
+      // bounded by learning_rate regardless of the loss scale.
+      float delta = -options_.learning_rate * (grad > 0.0f ? 1.0f : -1.0f) *
+                    ranked[j].first / ranked.front().first;
+      if (originals.find(index) == originals.end()) {
+        originals[index] = model.get_param(index);
+      }
+      float& total = accumulated[index];
+      const float capped =
+          std::clamp(total + delta, -options_.max_delta, options_.max_delta);
+      delta = capped - total;
+      total = capped;
+      model.add_to_param(index, delta);
+    }
+    flipped = argmax(model.forward(batched)) != clean;
+  }
+
+  // Stealth refinement: scale the whole accumulated delta down to (near)
+  // the smallest factor that still flips the victim.
+  float scale = 1.0f;
+  if (flipped) {
+    auto flips_at = [&](float factor) {
+      for (const auto& [index, delta] : accumulated) {
+        model.set_param(index, originals[index] + factor * delta);
+      }
+      return argmax(model.forward(batched)) != clean;
+    };
+    float lo = 0.0f;
+    float hi = 1.0f;
+    for (int refine = 0; refine < 7; ++refine) {
+      const float mid = 0.5f * (lo + hi);
+      if (flips_at(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    scale = std::min(1.0f, hi * 1.05f);
+  }
+
+  // Restore the model exactly; report the (scaled) sparse delta.
+  Perturbation p;
+  p.kind = "gda";
+  for (const auto& [index, original] : originals) {
+    model.set_param(index, original);
+  }
+  for (const auto& [index, delta] : accumulated) {
+    const float scaled = scale * delta;
+    if (scaled != 0.0f) p.deltas.push_back({index, scaled});
+  }
+  if (!flipped) return {};
+  return p;
+}
+
+}  // namespace dnnv::attack

@@ -1,0 +1,38 @@
+// Gradient Descent Attack (GDA) — Liu et al., ICCAD 2017.
+#ifndef DNNV_ATTACK_GDA_H_
+#define DNNV_ATTACK_GDA_H_
+
+#include "attack/attack.h"
+
+namespace dnnv::attack {
+
+/// Stealthy multi-parameter attack: gradient-descend the parameters on the
+/// loss of classifying the victim as a chosen wrong class, but restrict each
+/// update to the top-m parameters by gradient magnitude and stop as soon as
+/// the victim flips — yielding a small, low-magnitude perturbation that is
+/// hard to notice from accuracy alone.
+class GradientDescentAttack : public Attack {
+ public:
+  struct Options {
+    int max_iterations = 25;
+    float learning_rate = 0.05f;
+    /// Parameters updated per iteration (sparsity of the attack).
+    int params_per_step = 32;
+    /// Per-parameter total perturbation cap (stealthiness), relative to 1.
+    float max_delta = 2.0f;
+  };
+
+  GradientDescentAttack() : GradientDescentAttack(Options()) {}
+  explicit GradientDescentAttack(Options options) : options_(options) {}
+
+  Perturbation craft(nn::Sequential& model, const Tensor& victim,
+                     Rng& rng) const override;
+  std::string name() const override { return "GDA"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dnnv::attack
+
+#endif  // DNNV_ATTACK_GDA_H_

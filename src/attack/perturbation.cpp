@@ -1,0 +1,33 @@
+#include "attack/perturbation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::attack {
+
+void Perturbation::apply(nn::Sequential& model) {
+  saved_values_.clear();
+  saved_values_.reserve(deltas.size());
+  for (const auto& d : deltas) {
+    saved_values_.push_back(model.get_param(d.index));
+    model.add_to_param(d.index, d.delta);
+  }
+}
+
+void Perturbation::revert(nn::Sequential& model) {
+  DNNV_CHECK(saved_values_.size() == deltas.size(),
+             "revert without a matching apply");
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    model.set_param(deltas[i].index, saved_values_[i]);
+  }
+  saved_values_.clear();
+}
+
+float Perturbation::max_magnitude() const {
+  float m = 0.0f;
+  for (const auto& d : deltas) m = std::max(m, std::fabs(d.delta));
+  return m;
+}
+
+}  // namespace dnnv::attack

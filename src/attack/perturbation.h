@@ -1,0 +1,44 @@
+// Sparse parameter perturbations — the attack payloads of the threat model.
+#ifndef DNNV_ATTACK_PERTURBATION_H_
+#define DNNV_ATTACK_PERTURBATION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace dnnv::attack {
+
+/// One modified scalar parameter, addressed in the model's global index
+/// space (the same coordinates coverage bitsets use).
+struct ParamDelta {
+  std::int64_t index = 0;
+  float delta = 0.0f;
+};
+
+/// A sparse set of parameter modifications, applied and reverted in place.
+/// apply() records the exact pre-attack values so revert() restores them
+/// bit-for-bit (float addition is not exactly invertible).
+struct Perturbation {
+  std::vector<ParamDelta> deltas;
+  std::string kind;  ///< "sba", "gda", "random", ...
+
+  bool empty() const { return deltas.empty(); }
+
+  /// Adds every delta to the model's parameters, remembering the originals.
+  void apply(nn::Sequential& model);
+
+  /// Restores the exact values recorded by the matching apply(); must be
+  /// called on the same model, after apply().
+  void revert(nn::Sequential& model);
+
+  /// Max |delta| (attack magnitude metric).
+  float max_magnitude() const;
+
+ private:
+  std::vector<float> saved_values_;
+};
+
+}  // namespace dnnv::attack
+
+#endif  // DNNV_ATTACK_PERTURBATION_H_

@@ -1,0 +1,66 @@
+#include "attack/random_perturbation.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace dnnv::attack {
+
+Perturbation RandomPerturbation::craft(nn::Sequential& model, const Tensor&,
+                                       Rng& rng) const {
+  const std::int64_t total = model.param_count();
+  DNNV_CHECK(total > 0, "model has no parameters");
+
+  // Per-tensor stddevs: noise is scaled to the tensor it lands in, so a
+  // corrupted conv weight moves by conv-weight magnitudes and a corrupted FC
+  // weight by FC magnitudes (a single global scale would be dominated by the
+  // largest — and smallest-magnitude — FC tensor).
+  const auto stat_views = model.param_views();
+  std::vector<float> tensor_sigma;
+  for (const auto& view : stat_views) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::int64_t i = 0; i < view.size; ++i) {
+      sum += view.data[i];
+      sum_sq += static_cast<double>(view.data[i]) * view.data[i];
+    }
+    const double mean = sum / static_cast<double>(view.size);
+    const double variance =
+        std::max(0.0, sum_sq / static_cast<double>(view.size) - mean * mean);
+    tensor_sigma.push_back(options_.relative_sigma *
+                           static_cast<float>(std::sqrt(variance)));
+  }
+
+  // Layer-uniform sampling: pick a parameter tensor first, then scalars
+  // within it. Uniform-over-scalars would concentrate nearly all corruption
+  // in the largest FC tensor; real memory corruption hits any tensor's
+  // storage with similar probability per event.
+  const auto views = model.param_views();
+  std::vector<std::int64_t> offsets;
+  std::int64_t running = 0;
+  for (const auto& view : views) {
+    offsets.push_back(running);
+    running += view.size;
+  }
+  std::map<std::int64_t, float> chosen;  // index -> sigma of its tensor
+  const int count =
+      static_cast<int>(std::min<std::int64_t>(options_.num_params, total));
+  while (static_cast<int>(chosen.size()) < count) {
+    const std::size_t v = rng.uniform_u64(views.size());
+    const std::int64_t index =
+        offsets[v] + static_cast<std::int64_t>(rng.uniform_u64(
+                         static_cast<std::uint64_t>(views[v].size)));
+    chosen.emplace(index, tensor_sigma[v]);
+  }
+
+  Perturbation p;
+  p.kind = "random";
+  for (const auto& [index, sigma] : chosen) {
+    p.deltas.push_back({index, static_cast<float>(rng.normal(0.0, sigma))});
+  }
+  return p;
+}
+
+}  // namespace dnnv::attack

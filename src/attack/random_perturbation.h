@@ -1,0 +1,36 @@
+// Random Gaussian parameter perturbation (the paper's third fault model).
+#ifndef DNNV_ATTACK_RANDOM_PERTURBATION_H_
+#define DNNV_ATTACK_RANDOM_PERTURBATION_H_
+
+#include "attack/attack.h"
+
+namespace dnnv::attack {
+
+/// Adds Gaussian noise to a small random subset of parameters — modelling
+/// non-adversarial corruption (memory faults, transmission errors). The
+/// noise scale is relative to the global parameter standard deviation so the
+/// perturbation is comparable across layers and models.
+class RandomPerturbation : public Attack {
+ public:
+  struct Options {
+    /// Number of parameters corrupted per trial.
+    int num_params = 6;
+    /// Noise stddev as a multiple of the model's parameter stddev.
+    float relative_sigma = 5.0f;
+  };
+
+  RandomPerturbation() : RandomPerturbation(Options()) {}
+  explicit RandomPerturbation(Options options) : options_(options) {}
+
+  /// `victim` is unused (random corruption ignores inputs).
+  Perturbation craft(nn::Sequential& model, const Tensor& victim,
+                     Rng& rng) const override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dnnv::attack
+
+#endif  // DNNV_ATTACK_RANDOM_PERTURBATION_H_

@@ -1,0 +1,38 @@
+// Single Bias Attack (SBA) — Liu et al., ICCAD 2017.
+#ifndef DNNV_ATTACK_SBA_H_
+#define DNNV_ATTACK_SBA_H_
+
+#include "attack/attack.h"
+
+namespace dnnv::attack {
+
+/// Modifies ONE bias with a large perturbation to force a misclassification:
+/// DNN outputs are monotone piecewise-linear in any single bias, so a big
+/// enough push along the right direction flips the victim's label.
+///
+/// Crafting: pick the target class with the second-highest logit, backprop
+/// d(logit_target − logit_clean)/dθ, choose the bias with the largest
+/// gradient magnitude among a random candidate layer, then grow the
+/// perturbation geometrically until the victim flips.
+class SingleBiasAttack : public Attack {
+ public:
+  struct Options {
+    float initial_magnitude = 0.5f;
+    float growth = 2.0f;
+    int max_doublings = 16;
+  };
+
+  SingleBiasAttack() : SingleBiasAttack(Options()) {}
+  explicit SingleBiasAttack(Options options) : options_(options) {}
+
+  Perturbation craft(nn::Sequential& model, const Tensor& victim,
+                     Rng& rng) const override;
+  std::string name() const override { return "SBA"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dnnv::attack
+
+#endif  // DNNV_ATTACK_SBA_H_

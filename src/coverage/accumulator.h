@@ -1,0 +1,39 @@
+// Running union of activation sets — VC(X) over a growing test suite.
+#ifndef DNNV_COVERAGE_ACCUMULATOR_H_
+#define DNNV_COVERAGE_ACCUMULATOR_H_
+
+#include "util/bitset.h"
+
+namespace dnnv::cov {
+
+/// Maintains P₁ ∪ ... ∪ Pₙ and the derived coverage ratio (paper Eq. 4).
+class CoverageAccumulator {
+ public:
+  /// `universe_size` = total number of parameters (or neurons).
+  explicit CoverageAccumulator(std::size_t universe_size);
+
+  /// Unions a test's activation mask into the covered set.
+  void add(const DynamicBitset& mask);
+
+  /// Bits `mask` would newly cover (marginal gain, Eq. 7's ΔVC numerator).
+  std::size_t marginal_gain(const DynamicBitset& mask) const;
+
+  std::size_t covered_count() const { return covered_.count(); }
+  std::size_t universe_size() const { return covered_.size(); }
+
+  /// Covered fraction in [0, 1].
+  double coverage() const;
+
+  const DynamicBitset& covered() const { return covered_; }
+
+  /// Number of tests added so far.
+  std::size_t num_tests() const { return num_tests_; }
+
+ private:
+  DynamicBitset covered_;
+  std::size_t num_tests_ = 0;
+};
+
+}  // namespace dnnv::cov
+
+#endif  // DNNV_COVERAGE_ACCUMULATOR_H_

@@ -1,0 +1,93 @@
+#include "coverage/neuron_coverage.h"
+
+#include <algorithm>
+
+#include "tensor/batch.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace dnnv::cov {
+namespace {
+
+/// Neurons contributed by one activation output of shape [1, F] (F neurons)
+/// or [1, C, H, W] (C neurons).
+std::size_t neurons_in(const Shape& activation_shape) {
+  if (activation_shape.ndim() == 2) {
+    return static_cast<std::size_t>(activation_shape[1]);
+  }
+  DNNV_CHECK(activation_shape.ndim() == 4,
+             "unexpected activation shape " << activation_shape);
+  return static_cast<std::size_t>(activation_shape[1]);
+}
+
+}  // namespace
+
+NeuronCoverage::NeuronCoverage(nn::Sequential& model, const Shape& item_shape,
+                               NeuronCoverageConfig config)
+    : model_(model), config_(config) {
+  // Count neurons by walking output shapes of activation layers.
+  std::vector<std::int64_t> dims;
+  dims.push_back(1);
+  dims.insert(dims.end(), item_shape.dims().begin(), item_shape.dims().end());
+  Shape shape{dims};
+  for (std::size_t i = 0; i < model_.num_layers(); ++i) {
+    shape = model_.layer(i).output_shape(shape);
+    if (model_.layer(i).is_activation()) neuron_count_ += neurons_in(shape);
+  }
+  DNNV_CHECK(neuron_count_ > 0, "model has no activation layers");
+}
+
+DynamicBitset NeuronCoverage::neuron_mask(const Tensor& input) {
+  std::vector<Tensor> activations;
+  model_.forward_with_activations(stack_batch({input}), activations);
+
+  DynamicBitset mask(neuron_count_);
+  std::size_t bit = 0;
+  for (const auto& act : activations) {
+    if (act.shape().ndim() == 2) {
+      for (std::int64_t j = 0; j < act.shape()[1]; ++j, ++bit) {
+        if (act[j] > static_cast<float>(config_.threshold)) mask.set(bit);
+      }
+    } else {
+      const std::int64_t channels = act.shape()[1];
+      const std::int64_t plane = act.shape()[2] * act.shape()[3];
+      for (std::int64_t c = 0; c < channels; ++c, ++bit) {
+        double acc = 0.0;
+        const float* p = act.data() + c * plane;
+        for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
+        if (acc / static_cast<double>(plane) >
+            static_cast<double>(config_.threshold)) {
+          mask.set(bit);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<DynamicBitset> neuron_masks(const nn::Sequential& model,
+                                        const Shape& item_shape,
+                                        const std::vector<Tensor>& inputs,
+                                        const NeuronCoverageConfig& config) {
+  std::vector<DynamicBitset> masks(inputs.size());
+  if (inputs.empty()) return masks;
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t num_workers = std::min(pool.num_threads(), inputs.size());
+  const std::size_t chunk = (inputs.size() + num_workers - 1) / num_workers;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pool.submit([&, w] {
+      nn::Sequential local = model.clone();
+      NeuronCoverage coverage(local, item_shape, config);
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(inputs.size(), begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        masks[i] = coverage.neuron_mask(inputs[i]);
+      }
+    });
+  }
+  pool.wait_all();
+  return masks;
+}
+
+}  // namespace dnnv::cov

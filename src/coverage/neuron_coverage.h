@@ -1,0 +1,51 @@
+// Neuron coverage — the hardware-testing baseline metric ([10], [11]).
+//
+// The paper compares its parameter-coverage tests against tests selected for
+// neuron coverage and shows the latter miss parameter perturbations: two
+// neurons can each be covered by *different* tests while the weight between
+// them is never exercised end-to-end (paper §II-B).
+#ifndef DNNV_COVERAGE_NEURON_COVERAGE_H_
+#define DNNV_COVERAGE_NEURON_COVERAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/bitset.h"
+
+namespace dnnv::cov {
+
+/// Neuron-coverage criterion (DeepXplore-style).
+struct NeuronCoverageConfig {
+  /// A neuron is covered when its (mean) activation exceeds this threshold.
+  double threshold = 0.0;
+};
+
+/// Neuron definition: every unit of a dense activation layer is one neuron;
+/// every CHANNEL of a convolutional activation layer is one neuron (its mean
+/// activation is compared against the threshold), following DeepXplore.
+class NeuronCoverage {
+ public:
+  NeuronCoverage(nn::Sequential& model, const Shape& item_shape,
+                 NeuronCoverageConfig config = {});
+
+  /// Bitset over all neurons: bit set iff the neuron is covered by `input`.
+  DynamicBitset neuron_mask(const Tensor& input);
+
+  std::size_t neuron_count() const { return neuron_count_; }
+
+ private:
+  nn::Sequential& model_;
+  NeuronCoverageConfig config_;
+  std::size_t neuron_count_ = 0;
+};
+
+/// Parallel neuron-mask computation over an input pool (clone per worker).
+std::vector<DynamicBitset> neuron_masks(const nn::Sequential& model,
+                                        const Shape& item_shape,
+                                        const std::vector<Tensor>& inputs,
+                                        const NeuronCoverageConfig& config = {});
+
+}  // namespace dnnv::cov
+
+#endif  // DNNV_COVERAGE_NEURON_COVERAGE_H_

@@ -1,0 +1,86 @@
+#include "coverage/parameter_coverage.h"
+
+#include <cmath>
+
+#include "tensor/batch.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace dnnv::cov {
+
+ParameterCoverage::ParameterCoverage(nn::Sequential& model,
+                                     CoverageConfig config)
+    : model_(model), config_(config), param_count_(model.param_count()) {
+  DNNV_CHECK(config_.epsilon >= 0.0, "epsilon must be nonnegative");
+}
+
+void ParameterCoverage::mask_from_grads(DynamicBitset& mask) const {
+  std::size_t bit = 0;
+  for (const auto& view : model_.param_views()) {
+    for (std::int64_t i = 0; i < view.size; ++i, ++bit) {
+      if (std::fabs(view.grad[i]) > config_.epsilon) mask.set(bit);
+    }
+  }
+}
+
+DynamicBitset ParameterCoverage::activation_mask(const Tensor& input) {
+  const Tensor batched = stack_batch({input});
+  const Tensor logits = model_.forward(batched);
+  DNNV_CHECK(logits.shape().ndim() == 2, "model must produce [1, k] logits");
+  const std::int64_t k = logits.shape()[1];
+
+  DynamicBitset mask(static_cast<std::size_t>(param_count_));
+  if (config_.engine == CoverageEngine::kAbsSensitivity) {
+    Tensor seed(Shape{1, k});
+    seed.fill(1.0f);
+    model_.zero_grads();
+    model_.sensitivity_backward(seed);
+    mask_from_grads(mask);
+  } else {
+    // Union over per-logit exact gradients. backward() may be called
+    // repeatedly after one forward (layer caches are read-only in backward).
+    for (std::int64_t j = 0; j < k; ++j) {
+      Tensor seed(Shape{1, k});
+      seed[j] = 1.0f;
+      model_.zero_grads();
+      model_.backward(seed);
+      mask_from_grads(mask);
+    }
+  }
+  return mask;
+}
+
+double ParameterCoverage::validation_coverage(const Tensor& input) {
+  const DynamicBitset mask = activation_mask(input);
+  return static_cast<double>(mask.count()) / static_cast<double>(param_count_);
+}
+
+std::vector<DynamicBitset> activation_masks(const nn::Sequential& model,
+                                            const std::vector<Tensor>& inputs,
+                                            const CoverageConfig& config) {
+  std::vector<DynamicBitset> masks(inputs.size());
+  if (inputs.empty()) return masks;
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t num_workers =
+      std::min(pool.num_threads(), inputs.size());
+  const std::size_t chunk =
+      (inputs.size() + num_workers - 1) / num_workers;
+  // One model clone per worker; each worker sweeps a contiguous chunk so the
+  // output is deterministic and clone cost is amortised.
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pool.submit([&, w] {
+      nn::Sequential local = model.clone();
+      ParameterCoverage coverage(local, config);
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(inputs.size(), begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        masks[i] = coverage.activation_mask(inputs[i]);
+      }
+    });
+  }
+  pool.wait_all();
+  return masks;
+}
+
+}  // namespace dnnv::cov

@@ -1,0 +1,27 @@
+#include "coverage/report.h"
+
+#include "util/error.h"
+
+namespace dnnv::cov {
+
+std::vector<LayerCoverage> per_layer_coverage(nn::Sequential& model,
+                                              const DynamicBitset& covered) {
+  DNNV_CHECK(covered.size() == static_cast<std::size_t>(model.param_count()),
+             "bitset size " << covered.size() << " != param count "
+                            << model.param_count());
+  std::vector<LayerCoverage> report;
+  std::size_t bit = 0;
+  for (const auto& view : model.param_views()) {
+    LayerCoverage entry;
+    entry.name = view.name;
+    entry.total = static_cast<std::size_t>(view.size);
+    entry.is_bias = view.is_bias;
+    for (std::int64_t i = 0; i < view.size; ++i, ++bit) {
+      if (covered.test(bit)) ++entry.covered;
+    }
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace dnnv::cov

@@ -1,0 +1,33 @@
+// Per-layer coverage breakdown for diagnostics and the coverage_explorer
+// example.
+#ifndef DNNV_COVERAGE_REPORT_H_
+#define DNNV_COVERAGE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/bitset.h"
+
+namespace dnnv::cov {
+
+/// Coverage of one parameter tensor (one ParamView).
+struct LayerCoverage {
+  std::string name;        ///< parameter tensor name, e.g. "conv0.weight"
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  bool is_bias = false;
+
+  double fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(total);
+  }
+};
+
+/// Splits a global covered-parameter bitset into per-tensor counts, in the
+/// model's global parameter order.
+std::vector<LayerCoverage> per_layer_coverage(nn::Sequential& model,
+                                              const DynamicBitset& covered);
+
+}  // namespace dnnv::cov
+
+#endif  // DNNV_COVERAGE_REPORT_H_

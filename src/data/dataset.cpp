@@ -1,0 +1,25 @@
+#include "data/dataset.h"
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace dnnv::data {
+
+MaterializedData materialize(const Dataset& dataset, std::int64_t count,
+                             std::int64_t offset) {
+  DNNV_CHECK(offset >= 0 && count >= 0 && offset + count <= dataset.size(),
+             "materialize range [" << offset << ", " << offset + count
+                                   << ") exceeds dataset size " << dataset.size());
+  MaterializedData data;
+  data.images.resize(static_cast<std::size_t>(count));
+  data.labels.resize(static_cast<std::size_t>(count));
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(count), [&](std::size_t i) {
+        Sample sample = dataset.get(offset + static_cast<std::int64_t>(i));
+        data.images[i] = std::move(sample.image);
+        data.labels[i] = sample.label;
+      });
+  return data;
+}
+
+}  // namespace dnnv::data

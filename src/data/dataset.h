@@ -1,0 +1,49 @@
+// Dataset interface: deterministic, index-addressable sample sources.
+#ifndef DNNV_DATA_DATASET_H_
+#define DNNV_DATA_DATASET_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dnnv::data {
+
+/// One labelled sample. `image` is CHW (no batch axis); labels are -1 for
+/// unlabelled pools (noise / out-of-distribution images).
+struct Sample {
+  Tensor image;
+  int label = -1;
+};
+
+/// Abstract dataset. Implementations generate sample `i` as a pure function
+/// of (dataset seed, i), so two datasets with the same seed are identical and
+/// parallel readers need no synchronisation.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::int64_t size() const = 0;
+
+  /// Generates sample `index` (0 <= index < size()).
+  virtual Sample get(std::int64_t index) const = 0;
+
+  /// Shape of a single image (CHW).
+  virtual Shape item_shape() const = 0;
+
+  /// Number of label classes (0 for unlabelled pools).
+  virtual int num_classes() const = 0;
+};
+
+/// Materialised (in-memory) slice of a dataset.
+struct MaterializedData {
+  std::vector<Tensor> images;
+  std::vector<int> labels;
+};
+
+/// Generates samples [offset, offset+count) in parallel.
+MaterializedData materialize(const Dataset& dataset, std::int64_t count,
+                             std::int64_t offset = 0);
+
+}  // namespace dnnv::data
+
+#endif  // DNNV_DATA_DATASET_H_

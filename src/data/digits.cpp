@@ -1,0 +1,126 @@
+#include "data/digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/render.h"
+#include "util/error.h"
+
+namespace dnnv::data {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Stroke skeletons for digits 0-9 in the unit square (y grows downward).
+/// Curved parts are sampled arcs; the renderer handles jitter and thickness.
+std::vector<Polyline> digit_strokes(int digit) {
+  switch (digit) {
+    case 0:
+      return {arc({0.5f, 0.5f}, 0.24f, 0.34f, 0.0f, 2.0f * kPi)};
+    case 1:
+      return {{{0.36f, 0.30f}, {0.52f, 0.16f}, {0.52f, 0.84f}},
+              {{0.36f, 0.84f}, {0.68f, 0.84f}}};
+    case 2:
+      return {arc({0.5f, 0.34f}, 0.20f, 0.18f, -kPi, 0.0f),
+              {{0.70f, 0.34f}, {0.62f, 0.55f}, {0.42f, 0.70f}, {0.30f, 0.84f}},
+              {{0.30f, 0.84f}, {0.72f, 0.84f}}};
+    case 3:
+      return {arc({0.47f, 0.33f}, 0.19f, 0.17f, -0.8f * kPi, 0.5f * kPi),
+              arc({0.47f, 0.67f}, 0.21f, 0.18f, -0.5f * kPi, 0.8f * kPi)};
+    case 4:
+      return {{{0.58f, 0.14f}, {0.28f, 0.60f}, {0.76f, 0.60f}},
+              {{0.60f, 0.38f}, {0.60f, 0.86f}}};
+    case 5:
+      return {{{0.70f, 0.16f}, {0.34f, 0.16f}, {0.32f, 0.46f}},
+              arc({0.48f, 0.64f}, 0.20f, 0.20f, -0.5f * kPi, 0.75f * kPi)};
+    case 6:
+      return {{{0.64f, 0.14f}, {0.44f, 0.38f}, {0.34f, 0.60f}},
+              arc({0.50f, 0.66f}, 0.17f, 0.18f, 0.0f, 2.0f * kPi)};
+    case 7:
+      return {{{0.28f, 0.16f}, {0.72f, 0.16f}, {0.44f, 0.84f}},
+              {{0.38f, 0.52f}, {0.64f, 0.52f}}};
+    case 8:
+      return {arc({0.5f, 0.32f}, 0.17f, 0.16f, 0.0f, 2.0f * kPi),
+              arc({0.5f, 0.67f}, 0.20f, 0.19f, 0.0f, 2.0f * kPi)};
+    case 9:
+      return {arc({0.5f, 0.34f}, 0.18f, 0.17f, 0.0f, 2.0f * kPi),
+              {{0.67f, 0.40f}, {0.62f, 0.66f}, {0.50f, 0.86f}}};
+    default:
+      DNNV_THROW("digit out of range: " << digit);
+  }
+}
+
+}  // namespace
+
+DigitsDataset::DigitsDataset(std::uint64_t seed, std::int64_t size,
+                             int image_size)
+    : seed_(seed), size_(size), image_size_(image_size) {
+  DNNV_CHECK(size >= 0, "negative dataset size");
+  DNNV_CHECK(image_size >= 8, "image size too small: " << image_size);
+}
+
+Shape DigitsDataset::item_shape() const {
+  return Shape{1, image_size_, image_size_};
+}
+
+Sample DigitsDataset::get(std::int64_t index) const {
+  DNNV_CHECK(index >= 0 && index < size_,
+             "index " << index << " out of range " << size_);
+  Rng rng = Rng(seed_).split(static_cast<std::uint64_t>(index));
+
+  const int digit = static_cast<int>(rng.uniform_u64(10));
+  Jitter jitter;
+  jitter.dx = static_cast<float>(rng.uniform(-0.10, 0.10));
+  jitter.dy = static_cast<float>(rng.uniform(-0.10, 0.10));
+  jitter.rotation = static_cast<float>(rng.uniform(-0.35, 0.35));  // ±20°
+  jitter.scale = static_cast<float>(rng.uniform(0.75, 1.20));
+  jitter.shear = static_cast<float>(rng.uniform(-0.25, 0.25));
+  const float thickness = static_cast<float>(rng.uniform(0.030, 0.075));
+  const float noise = static_cast<float>(rng.uniform(0.02, 0.08));
+
+  std::vector<Polyline> strokes;
+  for (const auto& line : digit_strokes(digit)) {
+    strokes.push_back(transform(line, jitter));
+  }
+
+  Sample sample;
+  sample.label = digit;
+  sample.image = Tensor(item_shape());
+
+  // Faint paper-grain background (scanner texture): keeps in-distribution
+  // images structured everywhere, as real scanned digits are.
+  {
+    Rng grain_rng = rng.split(23);
+    const std::vector<float> grain =
+        value_noise(image_size_, image_size_, 3, grain_rng);
+    const float alpha = static_cast<float>(rng.uniform(0.10, 0.30));
+    for (std::int64_t i = 0; i < sample.image.numel(); ++i) {
+      sample.image[i] = alpha * grain[static_cast<std::size_t>(i)];
+    }
+  }
+  draw_strokes(sample.image.data(), image_size_, image_size_, strokes, thickness);
+
+  // Stray pen marks (most samples): scanned pages carry clutter, and the
+  // marks give every stroke-orientation feature something to respond to.
+  const int marks = rng.uniform_int(1, 3);
+  for (int m = 0; m < marks; ++m) {
+    std::vector<float> clutter(static_cast<std::size_t>(sample.image.numel()), 0.0f);
+    Polyline mark;
+    const int points = rng.uniform_int(2, 3);
+    for (int p = 0; p < points; ++p) {
+      mark.push_back({static_cast<float>(rng.uniform(0.0, 1.0)),
+                      static_cast<float>(rng.uniform(0.0, 1.0))});
+    }
+    draw_strokes(clutter.data(), image_size_, image_size_, {mark},
+                 static_cast<float>(rng.uniform(0.008, 0.02)));
+    const float alpha = static_cast<float>(rng.uniform(0.25, 0.6));
+    for (std::int64_t i = 0; i < sample.image.numel(); ++i) {
+      sample.image[i] = std::min(
+          1.0f, sample.image[i] + alpha * clutter[static_cast<std::size_t>(i)]);
+    }
+  }
+  add_noise(sample.image.data(), sample.image.numel(), noise, rng);
+  return sample;
+}
+
+}  // namespace dnnv::data

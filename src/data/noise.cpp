@@ -1,0 +1,41 @@
+#include "data/noise.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dnnv::data {
+
+NoiseDataset::NoiseDataset(std::uint64_t seed, std::int64_t size, int channels,
+                           int image_size, float mean, float sigma)
+    : seed_(seed),
+      size_(size),
+      channels_(channels),
+      image_size_(image_size),
+      mean_(mean),
+      sigma_(sigma) {
+  DNNV_CHECK(size >= 0, "negative dataset size");
+  DNNV_CHECK(channels == 1 || channels == 3, "channels must be 1 or 3");
+  DNNV_CHECK(image_size >= 1, "image size too small: " << image_size);
+  DNNV_CHECK(sigma >= 0.0f, "negative noise sigma");
+}
+
+Shape NoiseDataset::item_shape() const {
+  return Shape{channels_, image_size_, image_size_};
+}
+
+Sample NoiseDataset::get(std::int64_t index) const {
+  DNNV_CHECK(index >= 0 && index < size_,
+             "index " << index << " out of range " << size_);
+  Rng rng = Rng(seed_ ^ 0x4015E00000000000ull).split(
+      static_cast<std::uint64_t>(index));
+  Sample sample;
+  sample.image = Tensor(item_shape());
+  for (std::int64_t i = 0; i < sample.image.numel(); ++i) {
+    sample.image[i] = std::clamp(
+        static_cast<float>(rng.normal(mean_, sigma_)), 0.0f, 1.0f);
+  }
+  return sample;
+}
+
+}  // namespace dnnv::data

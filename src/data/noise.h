@@ -1,0 +1,34 @@
+// Gaussian-noise image pool (Fig 2's "noisy images").
+#ifndef DNNV_DATA_NOISE_H_
+#define DNNV_DATA_NOISE_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dnnv::data {
+
+/// I.i.d. Gaussian pixels, N(mean, sigma), clamped to [0,1] — no spatial or
+/// chromatic structure at all. The default N(0.2, 0.15) models dark sensor-
+/// noise frames; see EXPERIMENTS.md for the Fig-2 calibration note.
+class NoiseDataset : public Dataset {
+ public:
+  NoiseDataset(std::uint64_t seed, std::int64_t size, int channels,
+               int image_size, float mean = 0.2f, float sigma = 0.15f);
+
+  std::int64_t size() const override { return size_; }
+  Sample get(std::int64_t index) const override;
+  Shape item_shape() const override;
+  int num_classes() const override { return 0; }
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t size_;
+  int channels_;
+  int image_size_;
+  float mean_;
+  float sigma_;
+};
+
+}  // namespace dnnv::data
+
+#endif  // DNNV_DATA_NOISE_H_

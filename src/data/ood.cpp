@@ -1,0 +1,83 @@
+#include "data/ood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/render.h"
+#include "util/error.h"
+
+namespace dnnv::data {
+
+OodDataset::OodDataset(std::uint64_t seed, std::int64_t size, int channels,
+                       int image_size)
+    : seed_(seed), size_(size), channels_(channels), image_size_(image_size) {
+  DNNV_CHECK(size >= 0, "negative dataset size");
+  DNNV_CHECK(channels == 1 || channels == 3, "channels must be 1 or 3");
+  DNNV_CHECK(image_size >= 8, "image size too small: " << image_size);
+}
+
+Shape OodDataset::item_shape() const {
+  return Shape{channels_, image_size_, image_size_};
+}
+
+Sample OodDataset::get(std::int64_t index) const {
+  DNNV_CHECK(index >= 0 && index < size_,
+             "index " << index << " out of range " << size_);
+  Rng rng = Rng(seed_ ^ 0x00D00D0000000000ull).split(
+      static_cast<std::uint64_t>(index));
+
+  const int size = image_size_;
+  const int plane = size * size;
+  Sample sample;
+  sample.image = Tensor(item_shape());
+  float* img = sample.image.data();
+
+  // Luminance structure shared across channels (like a natural photo), plus
+  // per-channel colour grading.
+  Rng structure_rng = rng.split(1);
+  const std::vector<float> luma = value_noise(size, size, 4, structure_rng);
+  // Shared luminance gain with mild per-channel tint: natural photos are
+  // chromatically coherent, not three independent noise fields.
+  const float base_gain = static_cast<float>(rng.uniform(0.45, 0.9));
+  const float base_offset = static_cast<float>(rng.uniform(-0.2, 0.1));
+  for (int c = 0; c < channels_; ++c) {
+    const float gain =
+        base_gain * static_cast<float>(rng.uniform(0.85, 1.15));
+    const float offset = base_offset;
+    Rng channel_rng = rng.split(100 + static_cast<std::uint64_t>(c));
+    const std::vector<float> detail = value_noise(size, size, 3, channel_rng);
+    for (int i = 0; i < plane; ++i) {
+      const float v = 0.85f * luma[static_cast<std::size_t>(i)] +
+                      0.15f * detail[static_cast<std::size_t>(i)];
+      img[c * plane + i] = std::clamp(gain * v + offset, 0.0f, 1.0f);
+    }
+  }
+
+  // A few random geometric fragments (edges/segments as in real scenes).
+  const int fragments = rng.uniform_int(0, 2);
+  std::vector<Polyline> strokes;
+  for (int f = 0; f < fragments; ++f) {
+    Polyline line;
+    const int points = rng.uniform_int(2, 4);
+    for (int p = 0; p < points; ++p) {
+      line.push_back({static_cast<float>(rng.uniform(0.05, 0.95)),
+                      static_cast<float>(rng.uniform(0.05, 0.95))});
+    }
+    strokes.push_back(std::move(line));
+  }
+  std::vector<float> overlay(static_cast<std::size_t>(plane), 0.0f);
+  draw_strokes(overlay.data(), size, size,  strokes,
+               static_cast<float>(rng.uniform(0.01, 0.04)));
+  for (int c = 0; c < channels_; ++c) {
+    const float tint = static_cast<float>(rng.uniform(0.0, 1.0));
+    for (int i = 0; i < plane; ++i) {
+      const float o = overlay[static_cast<std::size_t>(i)];
+      img[c * plane + i] =
+          std::clamp(img[c * plane + i] * (1.0f - o) + tint * o, 0.0f, 1.0f);
+    }
+  }
+  add_noise(img, sample.image.numel(), 0.02f, rng);
+  return sample;
+}
+
+}  // namespace dnnv::data

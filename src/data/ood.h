@@ -1,0 +1,35 @@
+// ImageNet-like out-of-distribution image pool.
+#ifndef DNNV_DATA_OOD_H_
+#define DNNV_DATA_OOD_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dnnv::data {
+
+/// Structured "natural" images from a distribution unrelated to either
+/// training set: multi-octave value-noise per channel, random colour grading
+/// and a few random geometric fragments. Plays the role of the ImageNet pool
+/// in Fig 2 (resized to the model's input, as the paper does): contains real
+/// image structure, but not the training classes' features, so its validation
+/// coverage should land between noise images and training samples.
+class OodDataset : public Dataset {
+ public:
+  OodDataset(std::uint64_t seed, std::int64_t size, int channels,
+             int image_size);
+
+  std::int64_t size() const override { return size_; }
+  Sample get(std::int64_t index) const override;
+  Shape item_shape() const override;
+  int num_classes() const override { return 0; }
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t size_;
+  int channels_;
+  int image_size_;
+};
+
+}  // namespace dnnv::data
+
+#endif  // DNNV_DATA_OOD_H_

@@ -1,0 +1,148 @@
+#include "data/render.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::data {
+
+Polyline transform(const Polyline& line, const Jitter& jitter) {
+  Polyline out;
+  out.reserve(line.size());
+  const float cos_r = std::cos(jitter.rotation);
+  const float sin_r = std::sin(jitter.rotation);
+  for (const auto& p : line) {
+    // Centre, shear, rotate+scale, un-centre, translate.
+    float x = p.x - 0.5f + jitter.shear * (p.y - 0.5f);
+    float y = p.y - 0.5f;
+    const float rx = jitter.scale * (cos_r * x - sin_r * y);
+    const float ry = jitter.scale * (sin_r * x + cos_r * y);
+    out.push_back({rx + 0.5f + jitter.dx, ry + 0.5f + jitter.dy});
+  }
+  return out;
+}
+
+float segment_distance(Point p, Point a, Point b) {
+  const float abx = b.x - a.x;
+  const float aby = b.y - a.y;
+  const float apx = p.x - a.x;
+  const float apy = p.y - a.y;
+  const float len_sq = abx * abx + aby * aby;
+  float t = len_sq > 0.0f ? (apx * abx + apy * aby) / len_sq : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = a.x + t * abx - p.x;
+  const float cy = a.y + t * aby - p.y;
+  return std::sqrt(cx * cx + cy * cy);
+}
+
+void draw_strokes(float* image, int height, int width,
+                  const std::vector<Polyline>& strokes, float thickness) {
+  DNNV_CHECK(thickness > 0.0f, "stroke thickness must be positive");
+  const float soft = thickness * 0.6f;  // anti-aliasing band
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const Point p{(static_cast<float>(x) + 0.5f) / static_cast<float>(width),
+                    (static_cast<float>(y) + 0.5f) / static_cast<float>(height)};
+      float min_d = 1e9f;
+      for (const auto& line : strokes) {
+        for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+          min_d = std::min(min_d, segment_distance(p, line[i], line[i + 1]));
+        }
+      }
+      float intensity = 0.0f;
+      if (min_d <= thickness) {
+        intensity = 1.0f;
+      } else if (min_d <= thickness + soft) {
+        intensity = 1.0f - (min_d - thickness) / soft;
+      }
+      float& px = image[y * width + x];
+      px = std::min(1.0f, px + intensity);
+    }
+  }
+}
+
+Polyline arc(Point center, float radius_x, float radius_y, float angle_begin,
+             float angle_end, int segments) {
+  DNNV_CHECK(segments >= 2, "arc needs at least 2 segments");
+  Polyline line;
+  line.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(segments);
+    const float a = angle_begin + t * (angle_end - angle_begin);
+    line.push_back({center.x + radius_x * std::cos(a),
+                    center.y + radius_y * std::sin(a)});
+  }
+  return line;
+}
+
+void add_noise(float* image, std::int64_t size, float stddev, Rng& rng) {
+  if (stddev <= 0.0f) return;
+  for (std::int64_t i = 0; i < size; ++i) {
+    image[i] = std::clamp(
+        image[i] + static_cast<float>(rng.normal(0.0, stddev)), 0.0f, 1.0f);
+  }
+}
+
+void hsv_to_rgb(float h, float s, float v, float& r, float& g, float& b) {
+  h = h - std::floor(h);  // wrap hue into [0,1)
+  const float c = v * s;
+  const float hp = h * 6.0f;
+  const float x = c * (1.0f - std::fabs(std::fmod(hp, 2.0f) - 1.0f));
+  float r1 = 0, g1 = 0, b1 = 0;
+  if (hp < 1) {
+    r1 = c; g1 = x;
+  } else if (hp < 2) {
+    r1 = x; g1 = c;
+  } else if (hp < 3) {
+    g1 = c; b1 = x;
+  } else if (hp < 4) {
+    g1 = x; b1 = c;
+  } else if (hp < 5) {
+    r1 = x; b1 = c;
+  } else {
+    r1 = c; b1 = x;
+  }
+  const float m = v - c;
+  r = r1 + m;
+  g = g1 + m;
+  b = b1 + m;
+}
+
+std::vector<float> value_noise(int height, int width, int octaves, Rng& rng) {
+  DNNV_CHECK(octaves >= 1, "need at least one octave");
+  std::vector<float> out(static_cast<std::size_t>(height) * width, 0.0f);
+  float amplitude = 1.0f;
+  float total_amplitude = 0.0f;
+  int cells = 4;  // coarsest grid resolution
+  for (int o = 0; o < octaves; ++o) {
+    const int gh = cells + 1;
+    const int gw = cells + 1;
+    std::vector<float> grid(static_cast<std::size_t>(gh) * gw);
+    for (auto& g : grid) g = static_cast<float>(rng.uniform());
+    for (int y = 0; y < height; ++y) {
+      const float fy = static_cast<float>(y) / static_cast<float>(height) * cells;
+      const int y0 = static_cast<int>(fy);
+      const float ty = fy - static_cast<float>(y0);
+      for (int x = 0; x < width; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(width) * cells;
+        const int x0 = static_cast<int>(fx);
+        const float tx = fx - static_cast<float>(x0);
+        const float v00 = grid[y0 * gw + x0];
+        const float v01 = grid[y0 * gw + x0 + 1];
+        const float v10 = grid[(y0 + 1) * gw + x0];
+        const float v11 = grid[(y0 + 1) * gw + x0 + 1];
+        const float top = v00 + tx * (v01 - v00);
+        const float bottom = v10 + tx * (v11 - v10);
+        out[y * width + x] += amplitude * (top + ty * (bottom - top));
+      }
+    }
+    total_amplitude += amplitude;
+    amplitude *= 0.5f;
+    cells *= 2;
+  }
+  for (auto& v : out) v /= total_amplitude;
+  return out;
+}
+
+}  // namespace dnnv::data

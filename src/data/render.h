@@ -1,0 +1,59 @@
+// 2-D rasterisation helpers shared by the procedural datasets.
+#ifndef DNNV_DATA_RENDER_H_
+#define DNNV_DATA_RENDER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dnnv::data {
+
+/// Point in the unit square (x right, y down).
+struct Point {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+/// Open polyline through `points` (consecutive points are stroke segments).
+using Polyline = std::vector<Point>;
+
+/// Affine jitter applied to stroke geometry before rasterisation.
+struct Jitter {
+  float dx = 0.0f;       ///< translation
+  float dy = 0.0f;
+  float rotation = 0.0f;  ///< radians, about the glyph centre
+  float scale = 1.0f;
+  float shear = 0.0f;     ///< x += shear * (y - 0.5)
+};
+
+/// Applies `jitter` to every point (rotation/scale about (0.5, 0.5)).
+Polyline transform(const Polyline& line, const Jitter& jitter);
+
+/// Distance from point p to segment ab.
+float segment_distance(Point p, Point a, Point b);
+
+/// Rasterises anti-aliased strokes into a height*width greyscale buffer
+/// (values accumulate and saturate at 1). `thickness` is the stroke
+/// half-width in unit coordinates.
+void draw_strokes(float* image, int height, int width,
+                  const std::vector<Polyline>& strokes, float thickness);
+
+/// Samples a circular arc (angles in radians, y-down coordinates) into a
+/// polyline with `segments` pieces.
+Polyline arc(Point center, float radius_x, float radius_y, float angle_begin,
+             float angle_end, int segments = 24);
+
+/// Adds i.i.d. Gaussian noise (clamped to [0,1]) to a buffer.
+void add_noise(float* image, std::int64_t size, float stddev, Rng& rng);
+
+/// HSV (h in [0,1), s,v in [0,1]) to RGB.
+void hsv_to_rgb(float h, float s, float v, float& r, float& g, float& b);
+
+/// Multi-octave value noise in [0,1]: coarse random grids bilinearly
+/// upsampled and summed with halving amplitude. Deterministic in rng state.
+std::vector<float> value_noise(int height, int width, int octaves, Rng& rng);
+
+}  // namespace dnnv::data
+
+#endif  // DNNV_DATA_RENDER_H_

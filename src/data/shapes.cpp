@@ -1,0 +1,211 @@
+#include "data/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/render.h"
+#include "util/error.h"
+
+namespace dnnv::data {
+namespace {
+
+/// Fills a mask (height*width in [0,1]) with the class shape. cx/cy/radius
+/// are in unit coordinates; `phase` randomises stripe offsets; `rotation`
+/// spins the shape about its centre (stripe classes use small angles so
+/// orientation stays a valid class cue).
+void shape_mask(int label, float* mask, int size, float cx, float cy,
+                float radius, float phase, float rotation) {
+  const float cell = 1.0f / static_cast<float>(size);
+  const float cos_r = std::cos(rotation);
+  const float sin_r = std::sin(rotation);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const float rpx = (static_cast<float>(x) + 0.5f) * cell;
+      const float rpy = (static_cast<float>(y) + 0.5f) * cell;
+      const float dx0 = rpx - cx;
+      const float dy0 = rpy - cy;
+      const float dx = cos_r * dx0 - sin_r * dy0;
+      const float dy = sin_r * dx0 + cos_r * dy0;
+      const float px = cx + dx;
+      const float py = cy + dy;
+      const float r = std::sqrt(dx * dx + dy * dy);
+      float v = 0.0f;
+      switch (label) {
+        case 0:  // disc
+          v = r < radius ? 1.0f : 0.0f;
+          break;
+        case 1:  // square
+          v = (std::fabs(dx) < radius * 0.85f && std::fabs(dy) < radius * 0.85f)
+                  ? 1.0f
+                  : 0.0f;
+          break;
+        case 2: {  // triangle (upward)
+          const float ty = dy + radius * 0.6f;           // apex above centre
+          const float half = (ty / (1.6f * radius)) * radius * 1.1f;
+          v = (ty > 0.0f && ty < 1.6f * radius && std::fabs(dx) < half) ? 1.0f : 0.0f;
+          break;
+        }
+        case 3:  // ring
+          v = (r < radius && r > radius * 0.55f) ? 1.0f : 0.0f;
+          break;
+        case 4:  // cross / plus
+          v = ((std::fabs(dx) < radius * 0.3f && std::fabs(dy) < radius) ||
+               (std::fabs(dy) < radius * 0.3f && std::fabs(dx) < radius))
+                  ? 1.0f
+                  : 0.0f;
+          break;
+        case 5:  // horizontal stripes
+          v = std::sin((py + phase) * 28.0f) > 0.2f ? 1.0f : 0.0f;
+          break;
+        case 6:  // vertical stripes
+          v = std::sin((px + phase) * 28.0f) > 0.2f ? 1.0f : 0.0f;
+          break;
+        case 7: {  // checkerboard
+          const int qx = static_cast<int>((px + phase) * 6.0f);
+          const int qy = static_cast<int>((py + phase) * 6.0f);
+          v = ((qx + qy) % 2 == 0) ? 1.0f : 0.0f;
+          break;
+        }
+        case 8:  // radial gradient blob
+          v = std::max(0.0f, 1.0f - r / (radius * 1.3f));
+          break;
+        case 9:  // diagonal stripes
+          v = std::sin((px + py + phase) * 20.0f) > 0.2f ? 1.0f : 0.0f;
+          break;
+        default:
+          DNNV_THROW("label out of range: " << label);
+      }
+      mask[y * size + x] = v;
+    }
+  }
+}
+
+}  // namespace
+
+ShapesDataset::ShapesDataset(std::uint64_t seed, std::int64_t size,
+                             int image_size)
+    : seed_(seed), size_(size), image_size_(image_size) {
+  DNNV_CHECK(size >= 0, "negative dataset size");
+  DNNV_CHECK(image_size >= 8, "image size too small: " << image_size);
+}
+
+Shape ShapesDataset::item_shape() const {
+  return Shape{3, image_size_, image_size_};
+}
+
+const char* ShapesDataset::class_name(int label) {
+  static const char* kNames[] = {"disc",    "square",   "triangle", "ring",
+                                 "cross",   "h-stripe", "v-stripe", "checker",
+                                 "blob",    "d-stripe"};
+  DNNV_CHECK(label >= 0 && label < 10, "label out of range: " << label);
+  return kNames[label];
+}
+
+Sample ShapesDataset::get(std::int64_t index) const {
+  DNNV_CHECK(index >= 0 && index < size_,
+             "index " << index << " out of range " << size_);
+  Rng rng = Rng(seed_ ^ 0x5A5A5A5A00000000ull).split(
+      static_cast<std::uint64_t>(index));
+
+  const int label = static_cast<int>(rng.uniform_u64(10));
+  const int size = image_size_;
+  const int plane = size * size;
+
+  // Class-tied foreground hue with deliberate overlap between neighbouring
+  // classes (colour alone must not be sufficient; shape is the primary cue).
+  const float fg_hue = (static_cast<float>(label) +
+                        static_cast<float>(rng.uniform(-0.35, 1.35))) /
+                       10.0f;
+  const float fg_sat = static_cast<float>(rng.uniform(0.45, 1.0));
+  const float fg_val = static_cast<float>(rng.uniform(0.55, 1.0));
+  const float bg_hue = static_cast<float>(rng.uniform(0.0, 1.0));
+  const float bg_sat = static_cast<float>(rng.uniform(0.1, 0.6));
+  const float bg_val = static_cast<float>(rng.uniform(0.10, 0.55));
+  float fg_r, fg_g, fg_b, bg_r, bg_g, bg_b;
+  hsv_to_rgb(fg_hue, fg_sat, fg_val, fg_r, fg_g, fg_b);
+  hsv_to_rgb(bg_hue, bg_sat, bg_val, bg_r, bg_g, bg_b);
+
+  const float cx = static_cast<float>(rng.uniform(0.30, 0.70));
+  const float cy = static_cast<float>(rng.uniform(0.30, 0.70));
+  const float radius = static_cast<float>(rng.uniform(0.20, 0.32));
+  const float phase = static_cast<float>(rng.uniform(0.0, 1.0));
+  // Stripe-family classes keep small rotations so orientation stays a cue.
+  const bool orientation_class = label == 5 || label == 6 || label == 9;
+  const float rotation = static_cast<float>(
+      rng.uniform(-1.0, 1.0) * (orientation_class ? 0.15 : 0.6));
+
+  std::vector<float> mask(static_cast<std::size_t>(plane));
+  shape_mask(label, mask.data(), size, cx, cy, radius, phase, rotation);
+
+  // Rich multi-scale background texture: in-distribution images carry
+  // structure everywhere (like natural photos), so trained features fire
+  // densely on them — the property Fig 2 measures.
+  Rng texture_rng = rng.split(17);
+  const std::vector<float> texture = value_noise(size, size, 3, texture_rng);
+  // Patterned micro-texture (oriented grating at random frequency/phase).
+  const float grate_freq = static_cast<float>(rng.uniform(8.0, 24.0));
+  const float grate_dir = static_cast<float>(rng.uniform(0.0, 3.14159));
+  const float grate_amp = static_cast<float>(rng.uniform(0.10, 0.30));
+  const float grate_cos = std::cos(grate_dir);
+  const float grate_sin = std::sin(grate_dir);
+
+  Sample sample;
+  sample.label = label;
+  sample.image = Tensor(item_shape());
+  float* img = sample.image.data();
+  const float fg[3] = {fg_r, fg_g, fg_b};
+  const float bg[3] = {bg_r, bg_g, bg_b};
+  const float cell2 = 1.0f / static_cast<float>(size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const int i = y * size + x;
+      const float px = (static_cast<float>(x) + 0.5f) * cell2;
+      const float py = (static_cast<float>(y) + 0.5f) * cell2;
+      const float m = mask[static_cast<std::size_t>(i)];
+      const float grate =
+          grate_amp * std::sin((px * grate_cos + py * grate_sin) * grate_freq *
+                               6.28318f + phase * 6.28318f);
+      const float tex =
+          0.45f + 0.8f * texture[static_cast<std::size_t>(i)] + grate;
+      for (int c = 0; c < 3; ++c) {
+        const float base = bg[c] * tex + 0.1f * grate;
+        img[c * plane + i] = std::clamp(base + m * (fg[c] - base), 0.0f, 1.0f);
+      }
+    }
+  }
+
+  // Full-contrast distractor objects: in-distribution images are SCENES
+  // (main object + small clutter objects of arbitrary colours), so every
+  // trained feature finds something to fire on in every image — the dense
+  // in-distribution parameter usage Fig 2 measures. The class rule is
+  // "largest object wins": distractors stay well below the main radius.
+  const int distractors = rng.uniform_int(2, 5);
+  for (int d = 0; d < distractors; ++d) {
+    const int d_label = static_cast<int>(rng.uniform_u64(5));  // solid shapes
+    const float d_cx = static_cast<float>(rng.uniform(0.05, 0.95));
+    const float d_cy = static_cast<float>(rng.uniform(0.05, 0.95));
+    const float d_radius = static_cast<float>(rng.uniform(0.05, 0.11));
+    std::vector<float> d_mask(static_cast<std::size_t>(plane));
+    shape_mask(d_label, d_mask.data(), size, d_cx, d_cy, d_radius, 0.0f,
+               static_cast<float>(rng.uniform(-0.6, 0.6)));
+    float dr, dg, db;
+    hsv_to_rgb(static_cast<float>(rng.uniform(0.0, 1.0)),
+               static_cast<float>(rng.uniform(0.4, 1.0)),
+               static_cast<float>(rng.uniform(0.5, 1.0)), dr, dg, db);
+    const float d_col[3] = {dr, dg, db};
+    for (int i = 0; i < plane; ++i) {
+      const float m = d_mask[static_cast<std::size_t>(i)];
+      if (m <= 0.0f) continue;
+      for (int c = 0; c < 3; ++c) {
+        img[c * plane + i] = std::clamp(
+            img[c * plane + i] * (1.0f - m) + d_col[c] * m, 0.0f, 1.0f);
+      }
+    }
+  }
+
+  const float noise = static_cast<float>(rng.uniform(0.02, 0.08));
+  add_noise(img, sample.image.numel(), noise, rng);
+  return sample;
+}
+
+}  // namespace dnnv::data

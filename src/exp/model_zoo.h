@@ -1,0 +1,74 @@
+// Experiment model zoo: the paper's two models (Table I), trained once on
+// the synthetic datasets and cached on disk.
+#ifndef DNNV_EXP_MODEL_ZOO_H_
+#define DNNV_EXP_MODEL_ZOO_H_
+
+#include <string>
+
+#include "coverage/parameter_coverage.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace dnnv::exp {
+
+/// A trained model plus the metadata experiments need.
+struct TrainedModel {
+  nn::Sequential model;
+  std::string name;
+  Shape item_shape;
+  int num_classes = 10;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// Recommended activation criterion: ε = 0 for the ReLU model (exact
+  /// zero-gradient regions), small ε for the Tanh model (paper §IV-A).
+  cov::CoverageConfig coverage;
+};
+
+/// Zoo options.
+struct ZooOptions {
+  /// Much smaller architecture + training set; for integration tests.
+  bool tiny = false;
+  /// Table-I-sized channel counts (32/64 convs, ...) instead of the default
+  /// CPU-friendly scaling. Slower to train; same topology.
+  bool paper_scale = false;
+  /// Cache directory; resolved as: this field if non-empty, else
+  /// $DNNV_CACHE_DIR, else ".cache/dnnv".
+  std::string cache_dir;
+  /// Print training progress to stderr.
+  bool verbose = false;
+  /// Ignore any cached file and retrain.
+  bool retrain = false;
+};
+
+/// Resolves the effective cache directory for `options`.
+std::string cache_dir(const ZooOptions& options);
+
+/// The MNIST-stand-in model: Tanh CNN on DigitsDataset (Table I column 1).
+TrainedModel mnist_tanh(const ZooOptions& options = ZooOptions());
+
+/// The CIFAR-stand-in model: ReLU CNN on ShapesDataset (Table I column 2).
+TrainedModel cifar_relu(const ZooOptions& options = ZooOptions());
+
+// ---- The matching datasets (seeds fixed so experiments line up) ----
+
+/// Training pool for the digits model (also Fig 2/3's "training set").
+data::MaterializedData digits_train(std::int64_t count);
+
+/// Held-out digits test set.
+data::MaterializedData digits_test(std::int64_t count);
+
+/// Training pool for the shapes model.
+data::MaterializedData shapes_train(std::int64_t count);
+
+/// Held-out shapes test set.
+data::MaterializedData shapes_test(std::int64_t count);
+
+/// Out-of-distribution pool matched to a model's input (Fig 2's "ImageNet").
+data::MaterializedData ood_pool(const TrainedModel& target, std::int64_t count);
+
+/// Gaussian-noise pool matched to a model's input (Fig 2's "noisy images").
+data::MaterializedData noise_pool(const TrainedModel& target, std::int64_t count);
+
+}  // namespace dnnv::exp
+
+#endif  // DNNV_EXP_MODEL_ZOO_H_

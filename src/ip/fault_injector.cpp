@@ -1,0 +1,56 @@
+#include "ip/fault_injector.h"
+
+#include "util/error.h"
+
+namespace dnnv::ip {
+
+MemoryFault FaultInjector::inject_random_bit_flip(Rng& rng) {
+  const std::size_t address =
+      static_cast<std::size_t>(rng.uniform_u64(ip_.memory_size()));
+  const int bit = static_cast<int>(rng.uniform_u64(8));
+  return inject_bit_flip(address, bit);
+}
+
+MemoryFault FaultInjector::inject_bit_flip(std::size_t address, int bit) {
+  MemoryFault fault;
+  fault.kind = MemoryFault::Kind::kBitFlip;
+  fault.address = address;
+  fault.bit = bit;
+  fault.previous = ip_.read_byte(address);
+  ip_.flip_bit(address, bit);
+  return fault;
+}
+
+MemoryFault FaultInjector::inject_stuck_at(std::size_t address, int bit,
+                                           bool stuck_high) {
+  DNNV_CHECK(bit >= 0 && bit < 8, "bit index " << bit << " out of range");
+  MemoryFault fault;
+  fault.kind = stuck_high ? MemoryFault::Kind::kStuckAt1
+                          : MemoryFault::Kind::kStuckAt0;
+  fault.address = address;
+  fault.bit = bit;
+  fault.previous = ip_.read_byte(address);
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << bit);
+  const std::uint8_t updated =
+      stuck_high ? static_cast<std::uint8_t>(fault.previous | mask)
+                 : static_cast<std::uint8_t>(fault.previous & ~mask);
+  ip_.write_byte(address, updated);
+  return fault;
+}
+
+MemoryFault FaultInjector::inject_byte_write(std::size_t address,
+                                             std::uint8_t value) {
+  MemoryFault fault;
+  fault.kind = MemoryFault::Kind::kByteWrite;
+  fault.address = address;
+  fault.value = value;
+  fault.previous = ip_.read_byte(address);
+  ip_.write_byte(address, value);
+  return fault;
+}
+
+void FaultInjector::revert(const MemoryFault& fault) {
+  ip_.write_byte(fault.address, fault.previous);
+}
+
+}  // namespace dnnv::ip

@@ -1,0 +1,50 @@
+// Memory-level fault models for the quantised accelerator.
+#ifndef DNNV_IP_FAULT_INJECTOR_H_
+#define DNNV_IP_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "ip/quantized_ip.h"
+#include "util/rng.h"
+
+namespace dnnv::ip {
+
+/// A single memory fault (recorded so campaigns can be replayed/reverted).
+struct MemoryFault {
+  enum class Kind { kBitFlip, kStuckAt0, kStuckAt1, kByteWrite };
+  Kind kind = Kind::kBitFlip;
+  std::size_t address = 0;
+  int bit = 0;                ///< for bit-level faults
+  std::uint8_t value = 0;     ///< for byte writes
+  std::uint8_t previous = 0;  ///< original byte, for revert
+};
+
+/// Injects faults into a QuantizedIp's weight memory and can undo them.
+/// Models both transient upsets (rowhammer-style single-bit flips) and
+/// deliberate parameter substitution.
+class FaultInjector {
+ public:
+  explicit FaultInjector(QuantizedIp& ip) : ip_(ip) {}
+
+  /// Flips a random bit; returns the fault record.
+  MemoryFault inject_random_bit_flip(Rng& rng);
+
+  /// Flips the given bit.
+  MemoryFault inject_bit_flip(std::size_t address, int bit);
+
+  /// Forces a bit to 0/1 (no-op fault possible — record still returned).
+  MemoryFault inject_stuck_at(std::size_t address, int bit, bool stuck_high);
+
+  /// Overwrites a byte (parameter substitution).
+  MemoryFault inject_byte_write(std::size_t address, std::uint8_t value);
+
+  /// Undoes one fault (restores the recorded previous byte).
+  void revert(const MemoryFault& fault);
+
+ private:
+  QuantizedIp& ip_;
+};
+
+}  // namespace dnnv::ip
+
+#endif  // DNNV_IP_FAULT_INJECTOR_H_

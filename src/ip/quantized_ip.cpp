@@ -1,0 +1,122 @@
+#include "ip/quantized_ip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/batch.h"
+#include "util/error.h"
+
+namespace dnnv::ip {
+
+QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape)
+    : model_(model.clone()), item_shape_(std::move(item_shape)) {
+  std::vector<std::int64_t> dims;
+  dims.push_back(1);
+  dims.insert(dims.end(), item_shape_.dims().begin(), item_shape_.dims().end());
+  const Shape out = model_.output_shape(Shape{dims});
+  DNNV_CHECK(out.ndim() == 2, "IP model must produce [N, k] logits");
+  num_classes_ = static_cast<int>(out[1]);
+
+  // Quantise per parameter tensor: scale = max|w| / 127.
+  const auto views = model_.param_views();
+  std::size_t offset = 0;
+  for (const auto& view : views) {
+    QuantTensorInfo info;
+    info.memory_offset = offset;
+    info.size = view.size;
+    float max_abs = 0.0f;
+    for (std::int64_t i = 0; i < view.size; ++i) {
+      max_abs = std::max(max_abs, std::fabs(view.data[i]));
+    }
+    info.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    table_.push_back(info);
+    offset += static_cast<std::size_t>(view.size);
+  }
+  memory_.resize(offset);
+  original_params_.reserve(offset);
+  std::size_t address = 0;
+  std::size_t tensor = 0;
+  for (const auto& view : views) {
+    const float scale = table_[tensor++].scale;
+    for (std::int64_t i = 0; i < view.size; ++i, ++address) {
+      original_params_.push_back(view.data[i]);
+      const int q = std::clamp(
+          static_cast<int>(std::lround(view.data[i] / scale)), -127, 127);
+      memory_[address] = static_cast<std::uint8_t>(static_cast<std::int8_t>(q));
+    }
+  }
+  refresh_if_dirty();
+}
+
+void QuantizedIp::refresh_if_dirty() {
+  if (!dirty_) return;
+  std::size_t address = 0;
+  std::size_t tensor = 0;
+  for (const auto& view : model_.param_views()) {
+    const float scale = table_[tensor++].scale;
+    for (std::int64_t i = 0; i < view.size; ++i, ++address) {
+      view.data[i] =
+          scale * static_cast<float>(static_cast<std::int8_t>(memory_[address]));
+    }
+  }
+  dirty_ = false;
+}
+
+int QuantizedIp::predict(const Tensor& input) {
+  DNNV_CHECK(input.shape() == item_shape_,
+             "input shape " << input.shape() << " != IP input " << item_shape_);
+  refresh_if_dirty();
+  return model_.predict_label(input);
+}
+
+std::vector<int> QuantizedIp::predict_all(const std::vector<Tensor>& inputs) {
+  if (inputs.empty()) return {};
+  refresh_if_dirty();
+  return model_.predict_labels(stack_batch(inputs));
+}
+
+std::uint8_t QuantizedIp::read_byte(std::size_t address) const {
+  DNNV_CHECK(address < memory_.size(), "address " << address << " out of range");
+  return memory_[address];
+}
+
+void QuantizedIp::write_byte(std::size_t address, std::uint8_t value) {
+  DNNV_CHECK(address < memory_.size(), "address " << address << " out of range");
+  memory_[address] = value;
+  dirty_ = true;
+}
+
+void QuantizedIp::flip_bit(std::size_t address, int bit) {
+  DNNV_CHECK(address < memory_.size(), "address " << address << " out of range");
+  DNNV_CHECK(bit >= 0 && bit < 8, "bit index " << bit << " out of range");
+  memory_[address] ^= static_cast<std::uint8_t>(1u << bit);
+  dirty_ = true;
+}
+
+float QuantizedIp::max_quantization_error() const {
+  float max_err = 0.0f;
+  std::size_t address = 0;
+  std::size_t tensor = 0;
+  // NOTE: compares against the float snapshot taken at construction, so it
+  // reports quantisation error only while the memory is unfaulted.
+  for (const auto& info : table_) {
+    (void)info;
+    const float scale = table_[tensor].scale;
+    for (std::int64_t i = 0; i < table_[tensor].size; ++i, ++address) {
+      const float dequant =
+          scale * static_cast<float>(static_cast<std::int8_t>(memory_[address]));
+      max_err = std::max(max_err,
+                         std::fabs(dequant - original_params_[address]));
+    }
+    ++tensor;
+  }
+  return max_err;
+}
+
+float QuantizedIp::quantization_error_bound() const {
+  float bound = 0.0f;
+  for (const auto& info : table_) bound = std::max(bound, info.scale * 0.5f);
+  return bound;
+}
+
+}  // namespace dnnv::ip

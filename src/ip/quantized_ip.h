@@ -1,0 +1,77 @@
+// Int8 accelerator simulation with an explicit weight memory.
+//
+// DNN IPs ship as hardware accelerators whose quantised weights live in
+// off-chip memory — exactly the surface the paper's threat model attacks
+// (reverse-engineer the memory layout, substitute parameters). QuantizedIp
+// simulates that deployment: parameters are symmetric-per-tensor int8 values
+// in a flat byte buffer, and fault injection (bit flips, stuck-at, byte
+// writes) acts on the BUFFER, with inference reading through it.
+#ifndef DNNV_IP_QUANTIZED_IP_H_
+#define DNNV_IP_QUANTIZED_IP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ip/black_box_ip.h"
+#include "nn/sequential.h"
+
+namespace dnnv::ip {
+
+/// Per-tensor symmetric int8 quantisation parameters.
+struct QuantTensorInfo {
+  std::size_t memory_offset = 0;  ///< byte offset in the weight memory
+  std::int64_t size = 0;          ///< scalar count
+  float scale = 1.0f;             ///< dequant: value = scale * int8
+};
+
+/// Black-box IP backed by an int8 weight memory. Inference dequantises the
+/// memory into an internal float model (refreshed lazily after memory
+/// writes), modelling an accelerator whose MAC datapath is exact but whose
+/// stored weights are 8-bit.
+class QuantizedIp : public BlackBoxIp {
+ public:
+  QuantizedIp(const nn::Sequential& model, Shape item_shape);
+
+  int predict(const Tensor& input) override;
+  std::vector<int> predict_all(const std::vector<Tensor>& inputs) override;
+  Shape input_shape() const override { return item_shape_; }
+  int num_classes() const override { return num_classes_; }
+
+  // ---- Memory / fault-injection surface ----
+
+  /// Size of the weight memory in bytes (one byte per parameter).
+  std::size_t memory_size() const { return memory_.size(); }
+
+  /// Raw memory read.
+  std::uint8_t read_byte(std::size_t address) const;
+
+  /// Raw memory write (e.g. malicious parameter substitution).
+  void write_byte(std::size_t address, std::uint8_t value);
+
+  /// Flips one bit (0..7, 7 = sign bit of the int8 weight).
+  void flip_bit(std::size_t address, int bit);
+
+  /// Per-tensor quantisation table (address layout documentation).
+  const std::vector<QuantTensorInfo>& tensor_table() const { return table_; }
+
+  /// Max |float weight − dequantised weight| over all parameters.
+  float max_quantization_error() const;
+
+  /// Worst-case |error| bound implied by the scales (scale/2 per tensor).
+  float quantization_error_bound() const;
+
+ private:
+  void refresh_if_dirty();
+
+  nn::Sequential model_;                 // dequantised compute model
+  std::vector<float> original_params_;   // pre-quantisation float snapshot
+  Shape item_shape_;
+  int num_classes_ = 0;
+  std::vector<std::uint8_t> memory_;     // int8 two's complement per param
+  std::vector<QuantTensorInfo> table_;
+  bool dirty_ = true;
+};
+
+}  // namespace dnnv::ip
+
+#endif  // DNNV_IP_QUANTIZED_IP_H_

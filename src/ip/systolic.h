@@ -1,0 +1,78 @@
+// Systolic-array timing model for the DNN accelerator IP.
+//
+// DNN IPs are usually weight-stationary systolic engines (TPU-style). This
+// module estimates the cycle cost of running a Sequential model on an
+// R x C MAC array with given memory bandwidth — the numbers an IP vendor
+// quotes on a datasheet and the cost model a user needs to budget
+// functional-test replay time. Purely analytical (no per-cycle simulation):
+// each layer is lowered to the GEMM the accelerator would run and tiled over
+// the array.
+#ifndef DNNV_IP_SYSTOLIC_H_
+#define DNNV_IP_SYSTOLIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace dnnv::ip {
+
+/// Accelerator geometry and speeds.
+struct SystolicConfig {
+  int rows = 16;                   ///< MAC array rows (input-channel axis)
+  int cols = 16;                   ///< MAC array columns (output axis)
+  double frequency_mhz = 800.0;    ///< core clock
+  /// Off-chip weight-memory bandwidth in bytes/cycle (int8 weights).
+  double memory_bytes_per_cycle = 16.0;
+  /// Cycles to drain/refill the pipeline per tile (skew + control).
+  int tile_overhead_cycles = 32;
+};
+
+/// Cost of one layer on the array.
+struct LayerCost {
+  std::string name;            ///< layer instance name
+  std::int64_t macs = 0;       ///< multiply-accumulates in the lowered GEMM
+  std::int64_t weight_bytes = 0;
+  std::int64_t compute_cycles = 0;  ///< array-bound cycles (tiled)
+  std::int64_t memory_cycles = 0;   ///< weight-streaming cycles
+  std::int64_t cycles = 0;          ///< max(compute, memory) + overheads
+
+  bool memory_bound() const { return memory_cycles > compute_cycles; }
+};
+
+/// Whole-model cost report.
+struct ModelCost {
+  std::vector<LayerCost> layers;
+  std::int64_t total_cycles = 0;
+  double total_macs = 0;
+
+  /// Latency for one inference at the configured clock.
+  double latency_us(const SystolicConfig& config) const {
+    return static_cast<double>(total_cycles) / config.frequency_mhz;
+  }
+
+  /// Achieved MAC utilisation vs the array peak over the busy cycles.
+  double utilization(const SystolicConfig& config) const {
+    const double peak =
+        static_cast<double>(config.rows) * config.cols *
+        static_cast<double>(total_cycles);
+    return peak > 0 ? total_macs / peak : 0.0;
+  }
+};
+
+/// Estimates per-layer and total cycles for one inference (batch 1) of
+/// `model` on the array. `item_shape` is the CHW input shape. Layers without
+/// MACs (pool/flatten/activation/normalize) contribute element-op cycles at
+/// one lane-row per cycle.
+ModelCost estimate_cost(const nn::Sequential& model, const Shape& item_shape,
+                        const SystolicConfig& config = SystolicConfig());
+
+/// Cycle cost of replaying a functional-test suite of `num_tests` inputs
+/// (weights stay resident after the first test — the dominant reuse effect).
+std::int64_t suite_replay_cycles(const ModelCost& cost,
+                                 const SystolicConfig& config, int num_tests);
+
+}  // namespace dnnv::ip
+
+#endif  // DNNV_IP_SYSTOLIC_H_

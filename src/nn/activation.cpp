@@ -1,0 +1,71 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+namespace {
+constexpr float kLeakySlope = 0.01f;
+}
+
+float activate(ActivationKind kind, float x) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return x > 0.0f ? x : 0.0f;
+    case ActivationKind::kTanh:
+      return std::tanh(x);
+    case ActivationKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case ActivationKind::kLeakyReLU:
+      return x > 0.0f ? x : kLeakySlope * x;
+  }
+  DNNV_THROW("unknown activation kind");
+}
+
+float activate_grad(ActivationKind kind, float x) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return x > 0.0f ? 1.0f : 0.0f;
+    case ActivationKind::kTanh: {
+      const float t = std::tanh(x);
+      return 1.0f - t * t;
+    }
+    case ActivationKind::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+    case ActivationKind::kLeakyReLU:
+      return x > 0.0f ? 1.0f : kLeakySlope;
+  }
+  DNNV_THROW("unknown activation kind");
+}
+
+std::string to_string(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return "relu";
+    case ActivationKind::kTanh:
+      return "tanh";
+    case ActivationKind::kSigmoid:
+      return "sigmoid";
+    case ActivationKind::kLeakyReLU:
+      return "leaky_relu";
+  }
+  DNNV_THROW("unknown activation kind");
+}
+
+ActivationKind activation_from_string(const std::string& name) {
+  if (name == "relu") return ActivationKind::kReLU;
+  if (name == "tanh") return ActivationKind::kTanh;
+  if (name == "sigmoid") return ActivationKind::kSigmoid;
+  if (name == "leaky_relu") return ActivationKind::kLeakyReLU;
+  DNNV_THROW("unknown activation name '" << name << "'");
+}
+
+bool has_exact_zero_region(ActivationKind kind) {
+  return kind == ActivationKind::kReLU;
+}
+
+}  // namespace dnnv::nn

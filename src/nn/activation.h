@@ -1,0 +1,32 @@
+// Scalar activation functions, their derivatives, and kinds.
+#ifndef DNNV_NN_ACTIVATION_H_
+#define DNNV_NN_ACTIVATION_H_
+
+#include <string>
+
+namespace dnnv::nn {
+
+/// Supported nonlinearities. The paper evaluates Tanh (MNIST model) and ReLU
+/// (CIFAR model); Sigmoid and LeakyReLU are included for generality.
+enum class ActivationKind { kReLU, kTanh, kSigmoid, kLeakyReLU };
+
+/// f(x)
+float activate(ActivationKind kind, float x);
+
+/// f'(x)
+float activate_grad(ActivationKind kind, float x);
+
+/// Human-readable name ("relu", "tanh", ...).
+std::string to_string(ActivationKind kind);
+
+/// Inverse of to_string; throws on unknown names.
+ActivationKind activation_from_string(const std::string& name);
+
+/// True for activations with an exact zero-gradient region (ReLU). For these
+/// the paper's activation criterion is gradient != 0; saturating activations
+/// (Tanh/Sigmoid) use a small epsilon threshold instead (paper §IV-A).
+bool has_exact_zero_region(ActivationKind kind);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_ACTIVATION_H_

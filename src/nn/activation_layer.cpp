@@ -1,0 +1,122 @@
+#include "nn/activation_layer.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+ActivationLayer::ActivationLayer(ActivationKind activation)
+    : activation_(activation) {}
+
+Shape ActivationLayer::output_shape(const Shape& input_shape) const {
+  return input_shape;
+}
+
+Tensor ActivationLayer::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor output(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    output[i] = activate(activation_, input[i]);
+  }
+  return output;
+}
+
+Tensor ActivationLayer::backward(const Tensor& grad_output) {
+  DNNV_CHECK(grad_output.same_shape(cached_input_),
+             "activation backward shape mismatch");
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    float upstream = grad_output[i];
+    if (sparsity_lambda_ != 0.0f) {
+      const float out = activate(activation_, cached_input_[i]);
+      if (out > 0.0f) {
+        upstream += sparsity_lambda_;
+      } else if (out < 0.0f) {
+        upstream -= sparsity_lambda_;
+      }
+    }
+    float gate = activate_grad(activation_, cached_input_[i]);
+    if (backward_leak_ != 0.0f && gate < backward_leak_) gate = backward_leak_;
+    grad_input[i] = upstream * gate;
+  }
+  if (liveness_lambda_ != 0.0f) {
+    // Per-unit (dense) / per-channel (conv) batch-mean activation; units
+    // below the liveness target get a direct upward pre-activation push
+    // (bypassing the gate so dead ReLU units can recover).
+    const Shape& shape = cached_input_.shape();
+    if (shape.ndim() == 2) {
+      const std::int64_t n = shape[0];
+      const std::int64_t f = shape[1];
+      for (std::int64_t j = 0; j < f; ++j) {
+        double mean_act = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          mean_act += activate(activation_, cached_input_[i * f + j]);
+        }
+        mean_act /= static_cast<double>(n);
+        if (mean_act < liveness_target_) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            grad_input[i * f + j] -= liveness_lambda_;
+          }
+        }
+      }
+    } else if (shape.ndim() == 4) {
+      const std::int64_t n = shape[0];
+      const std::int64_t c = shape[1];
+      const std::int64_t plane = shape[2] * shape[3];
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        double mean_act = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* p = cached_input_.data() + (i * c + ch) * plane;
+          for (std::int64_t q = 0; q < plane; ++q) {
+            mean_act += activate(activation_, p[q]);
+          }
+        }
+        mean_act /= static_cast<double>(n * plane);
+        if (mean_act < liveness_target_) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            float* g = grad_input.data() + (i * c + ch) * plane;
+            for (std::int64_t q = 0; q < plane; ++q) g[q] -= liveness_lambda_;
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor ActivationLayer::sensitivity_backward(const Tensor& sens_output) {
+  DNNV_CHECK(sens_output.same_shape(cached_input_),
+             "activation sensitivity shape mismatch");
+  // Gate by |f'(pre-activation)|: for ReLU this is the exact 0/1 propagation
+  // mask; for saturating activations it attenuates sensitivity so saturated
+  // units fall below the coverage epsilon (paper §IV-A).
+  Tensor sens_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < sens_input.numel(); ++i) {
+    sens_input[i] =
+        sens_output[i] * std::fabs(activate_grad(activation_, cached_input_[i]));
+  }
+  return sens_input;
+}
+
+std::unique_ptr<Layer> ActivationLayer::clone() const {
+  auto copy = std::make_unique<ActivationLayer>(activation_);
+  copy->set_name(name());
+  copy->sparsity_lambda_ = sparsity_lambda_;
+  copy->backward_leak_ = backward_leak_;
+  copy->liveness_lambda_ = liveness_lambda_;
+  copy->liveness_target_ = liveness_target_;
+  return copy;
+}
+
+void ActivationLayer::save(ByteWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_string(to_string(activation_));
+}
+
+std::unique_ptr<ActivationLayer> ActivationLayer::load(ByteReader& reader) {
+  return std::make_unique<ActivationLayer>(
+      activation_from_string(reader.read_string()));
+}
+
+}  // namespace dnnv::nn

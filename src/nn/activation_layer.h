@@ -1,0 +1,66 @@
+// Elementwise activation layer.
+#ifndef DNNV_NN_ACTIVATION_LAYER_H_
+#define DNNV_NN_ACTIVATION_LAYER_H_
+
+#include "nn/activation.h"
+#include "nn/layer.h"
+
+namespace dnnv::nn {
+
+/// Applies a nonlinearity elementwise. Its outputs define the "neurons" of the
+/// neuron-coverage baseline (is_activation() == true).
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(ActivationKind activation);
+
+  std::string kind() const override { return "activation"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Tensor sensitivity_backward(const Tensor& sens_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  bool is_activation() const override { return true; }
+  std::unique_ptr<Layer> clone() const override;
+  void save(ByteWriter& writer) const override;
+  static std::unique_ptr<ActivationLayer> load(ByteReader& reader);
+
+  ActivationKind activation() const { return activation_; }
+
+  /// L1 activation-sparsity penalty coefficient (Glorot et al., AISTATS'11 —
+  /// the paper's reference [12]). When non-zero, backward() adds
+  /// lambda * sign(output) to the incoming gradient, training units to stay
+  /// silent unless their feature is present. Set by the trainer for the
+  /// duration of fit() only; keep at 0 for gradient/coverage analysis.
+  void set_sparsity_penalty(float lambda) { sparsity_lambda_ = lambda; }
+  float sparsity_penalty() const { return sparsity_lambda_; }
+
+  /// Backward-pass gradient leak: backward() uses max(f'(x), slope) so
+  /// gradients flow through saturated/dead units. Used by input-synthesis
+  /// (Algorithm 2) on its scratch loss model — a dead ReLU has zero true
+  /// gradient, so without a leak gradient descent can never craft an input
+  /// that wakes it. Keep 0 for training and for exact-gradient analysis.
+  void set_backward_leak(float slope) { backward_leak_ = slope; }
+  float backward_leak() const { return backward_leak_; }
+
+  /// Liveness regularisation (training-time only): units/channels whose mean
+  /// activation over the current batch falls below `target` receive an
+  /// upward pre-activation gradient of strength `lambda`. This trains the
+  /// network to use all of its resources on the training distribution — the
+  /// paper's stated premise ("if many parameters are not activated in the
+  /// training set, the network is not trained well", §IV-B).
+  void set_liveness_boost(float lambda, float target) {
+    liveness_lambda_ = lambda;
+    liveness_target_ = target;
+  }
+
+ private:
+  ActivationKind activation_;
+  float sparsity_lambda_ = 0.0f;
+  float backward_leak_ = 0.0f;
+  float liveness_lambda_ = 0.0f;
+  float liveness_target_ = 0.0f;
+  Tensor cached_input_;
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_ACTIVATION_LAYER_H_

@@ -1,0 +1,71 @@
+#include "nn/builder.h"
+
+#include "nn/activation_layer.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/maxpool2d.h"
+#include "nn/normalize.h"
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+Sequential build_convnet(const ConvNetSpec& spec, Rng& rng) {
+  DNNV_CHECK(!spec.conv_channels.empty(), "need at least one conv layer");
+  DNNV_CHECK(spec.num_classes > 1, "need at least two classes");
+  const InitKind init = default_init_for(spec.activation);
+
+  Sequential model;
+  if (spec.normalize_input) {
+    model.add(std::make_unique<Normalize>(spec.input_mean, spec.input_scale));
+  }
+  std::int64_t channels = spec.in_channels;
+  std::int64_t height = spec.in_height;
+  std::int64_t width = spec.in_width;
+  for (std::size_t i = 0; i < spec.conv_channels.size(); ++i) {
+    Conv2d::Config conv;
+    conv.in_channels = channels;
+    conv.out_channels = spec.conv_channels[i];
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.pad = spec.conv_pad;
+    model.add(std::make_unique<Conv2d>(conv, rng, init));
+    model.add(std::make_unique<ActivationLayer>(spec.activation));
+    channels = conv.out_channels;
+    height = height + 2 * spec.conv_pad - 2;
+    width = width + 2 * spec.conv_pad - 2;
+    if (i % 2 == 1) {  // pool after every second conv, as in Table I
+      model.add(std::make_unique<MaxPool2d>(2, 2));
+      height /= 2;
+      width /= 2;
+    }
+  }
+  model.add(std::make_unique<Flatten>());
+  std::int64_t features = channels * height * width;
+  for (const auto units : spec.dense_units) {
+    model.add(std::make_unique<Dense>(features, units, rng, init));
+    model.add(std::make_unique<ActivationLayer>(spec.activation));
+    features = units;
+  }
+  model.add(std::make_unique<Dense>(features, spec.num_classes, rng, init));
+  return model;
+}
+
+Sequential build_mlp(std::int64_t in_features,
+                     const std::vector<std::int64_t>& hidden,
+                     std::int64_t num_classes, ActivationKind activation,
+                     Rng& rng) {
+  DNNV_CHECK(num_classes > 1, "need at least two classes");
+  const InitKind init = default_init_for(activation);
+  Sequential model;
+  std::int64_t features = in_features;
+  for (const auto units : hidden) {
+    model.add(std::make_unique<Dense>(features, units, rng, init));
+    model.add(std::make_unique<ActivationLayer>(activation));
+    features = units;
+  }
+  model.add(std::make_unique<Dense>(features, num_classes, rng, init));
+  return model;
+}
+
+}  // namespace dnnv::nn

@@ -1,0 +1,45 @@
+// Convenience builders for the paper's architecture family.
+#ifndef DNNV_NN_BUILDER_H_
+#define DNNV_NN_BUILDER_H_
+
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace dnnv::nn {
+
+/// Describes a Table-I-style convnet: pairs of 3x3 conv blocks, each pair
+/// followed by 2x2 max pooling, then hidden dense layers, then a logit layer.
+struct ConvNetSpec {
+  std::int64_t in_channels = 1;
+  std::int64_t in_height = 28;
+  std::int64_t in_width = 28;
+  /// Output channels of each conv layer; a 2x2 maxpool is inserted after
+  /// every second conv (matching Table I's layout).
+  std::vector<std::int64_t> conv_channels = {8, 8, 16, 16};
+  /// Sizes of hidden dense layers (the final k-way logit layer is separate).
+  std::vector<std::int64_t> dense_units = {64};
+  std::int64_t num_classes = 10;
+  ActivationKind activation = ActivationKind::kReLU;
+  /// 3x3 convs keep spatial size with pad=1.
+  std::int64_t conv_pad = 1;
+  /// Input preprocessing baked into the model (see nn::Normalize).
+  bool normalize_input = true;
+  float input_mean = 0.5f;
+  float input_scale = 0.5f;
+};
+
+/// Builds the spec with activation-appropriate initialisation.
+Sequential build_convnet(const ConvNetSpec& spec, Rng& rng);
+
+/// Small MLP used by unit tests: in -> hidden... -> classes.
+Sequential build_mlp(std::int64_t in_features,
+                     const std::vector<std::int64_t>& hidden,
+                     std::int64_t num_classes, ActivationKind activation,
+                     Rng& rng);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_BUILDER_H_

@@ -1,0 +1,62 @@
+// 2-D convolution layer (im2col + GEMM).
+#ifndef DNNV_NN_CONV2D_H_
+#define DNNV_NN_CONV2D_H_
+
+#include "nn/init.h"
+#include "nn/layer.h"
+
+namespace dnnv::nn {
+
+/// Cross-correlation over NCHW inputs. Weights are stored flattened as
+/// [out_channels, in_channels*kh*kw] so forward/backward are single GEMMs per
+/// batch item over the im2col buffer.
+class Conv2d : public Layer {
+ public:
+  struct Config {
+    std::int64_t in_channels = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 3;  ///< square kernel edge
+    std::int64_t stride = 1;
+    std::int64_t pad = 0;
+  };
+
+  Conv2d(const Config& config, Rng& rng,
+         InitKind init = InitKind::kKaimingNormal);
+
+  std::string kind() const override { return "conv2d"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Tensor sensitivity_backward(const Tensor& sens_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::vector<ParamView> param_views() override;
+  std::unique_ptr<Layer> clone() const override;
+  void save(ByteWriter& writer) const override;
+  static std::unique_ptr<Conv2d> load(ByteReader& reader);
+
+  const Config& config() const { return config_; }
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  Conv2d() = default;  // for load()/clone()
+  void check_input(const Shape& input_shape) const;
+  std::int64_t col_rows() const {
+    return config_.in_channels * config_.kernel * config_.kernel;
+  }
+
+  Config config_;
+  Tensor weights_;      // [out_c, in_c*k*k]
+  Tensor bias_;         // [out_c]
+  Tensor weight_grad_;  // [out_c, in_c*k*k]
+  Tensor bias_grad_;    // [out_c]
+
+  // Caches from the last forward (per batch item im2col buffers).
+  Tensor cached_input_;   // [N, C, H, W]
+  Tensor cached_cols_;    // [N, col_rows, out_h*out_w]
+  std::int64_t cached_out_h_ = 0;
+  std::int64_t cached_out_w_ = 0;
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_CONV2D_H_

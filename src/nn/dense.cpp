@@ -1,0 +1,146 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+             InitKind init)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      weight_grad_(Shape{out_features, in_features}),
+      bias_grad_(Shape{out_features}) {
+  DNNV_CHECK(in_features > 0 && out_features > 0,
+             "dense dims must be positive, got " << in_features << " -> "
+                                                 << out_features);
+  initialize_weights(weights_, init, in_features, out_features, rng);
+}
+
+Shape Dense::output_shape(const Shape& input_shape) const {
+  DNNV_CHECK(input_shape.ndim() == 2 && input_shape[1] == in_features_,
+             "dense expects [N, " << in_features_ << "], got " << input_shape);
+  return Shape{input_shape[0], out_features_};
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  const Shape out_shape = output_shape(input.shape());
+  const std::int64_t n = input.shape()[0];
+  cached_input_ = input;
+  Tensor output(out_shape);
+  // y[N,out] = x[N,in] * W^T  (W stored [out,in] -> trans_b)
+  gemm(false, true, n, out_features_, in_features_, 1.0f, input.data(),
+       weights_.data(), 0.0f, output.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = output.data() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += bias_[j];
+  }
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_.shape()[0];
+  DNNV_CHECK(grad_output.shape() == Shape({n, out_features_}),
+             "grad_output shape " << grad_output.shape() << " unexpected");
+  // dW[out,in] += dy^T[out,N] * x[N,in]
+  gemm(true, false, out_features_, in_features_, n, 1.0f, grad_output.data(),
+       cached_input_.data(), 1.0f, weight_grad_.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = grad_output.data() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) bias_grad_[j] += row[j];
+  }
+  // dx[N,in] = dy[N,out] * W[out,in]
+  Tensor grad_input(cached_input_.shape());
+  gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
+       weights_.data(), 0.0f, grad_input.data());
+  return grad_input;
+}
+
+Tensor Dense::sensitivity_backward(const Tensor& sens_output) {
+  const std::int64_t n = cached_input_.shape()[0];
+  DNNV_CHECK(sens_output.shape() == Shape({n, out_features_}),
+             "sens_output shape " << sens_output.shape() << " unexpected");
+  // Same dataflow as backward, with |x| and |W|. A weight w_ji can propagate a
+  // perturbation iff its input x_i is non-zero AND the output j is sensitive;
+  // summing |s_j|·|x_i| (instead of the signed product) cannot cancel, so a
+  // zero sensitivity means "no propagation path" exactly.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* s_row = sens_output.data() + i * out_features_;
+    const float* x_row = cached_input_.data() + i * in_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) {
+      const float s = s_row[j];
+      if (s == 0.0f) continue;
+      float* wg_row = weight_grad_.data() + j * in_features_;
+      for (std::int64_t k = 0; k < in_features_; ++k) {
+        wg_row[k] += s * std::fabs(x_row[k]);
+      }
+      bias_grad_[j] += s;
+    }
+  }
+  // Input sensitivity: ŝ_i = Σ_j |W_ji| s_j.
+  Tensor sens_input(cached_input_.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* s_row = sens_output.data() + i * out_features_;
+    float* out_row = sens_input.data() + i * in_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) {
+      const float s = s_row[j];
+      if (s == 0.0f) continue;
+      const float* w_row = weights_.data() + j * in_features_;
+      for (std::int64_t k = 0; k < in_features_; ++k) {
+        out_row[k] += s * std::fabs(w_row[k]);
+      }
+    }
+  }
+  return sens_input;
+}
+
+std::vector<ParamView> Dense::param_views() {
+  return {
+      {name() + ".weight", weights_.data(), weight_grad_.data(),
+       weights_.numel(), /*is_bias=*/false},
+      {name() + ".bias", bias_.data(), bias_grad_.data(), bias_.numel(),
+       /*is_bias=*/true},
+  };
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::unique_ptr<Dense>(new Dense());
+  copy->in_features_ = in_features_;
+  copy->out_features_ = out_features_;
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  copy->weight_grad_ = Tensor(Shape{out_features_, in_features_});
+  copy->bias_grad_ = Tensor(Shape{out_features_});
+  copy->set_name(name());
+  return copy;
+}
+
+void Dense::save(ByteWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_i64(in_features_);
+  writer.write_i64(out_features_);
+  writer.write_f32_array(weights_.data(), static_cast<std::size_t>(weights_.numel()));
+  writer.write_f32_array(bias_.data(), static_cast<std::size_t>(bias_.numel()));
+}
+
+std::unique_ptr<Dense> Dense::load(ByteReader& reader) {
+  auto layer = std::unique_ptr<Dense>(new Dense());
+  layer->in_features_ = reader.read_i64();
+  layer->out_features_ = reader.read_i64();
+  DNNV_CHECK(layer->in_features_ > 0 && layer->out_features_ > 0,
+             "corrupt dense dims");
+  const auto w = reader.read_f32_array(
+      static_cast<std::size_t>(layer->in_features_ * layer->out_features_));
+  layer->weights_ = Tensor(Shape{layer->out_features_, layer->in_features_}, w);
+  const auto b = reader.read_f32_array(static_cast<std::size_t>(layer->out_features_));
+  layer->bias_ = Tensor(Shape{layer->out_features_}, b);
+  layer->weight_grad_ = Tensor(Shape{layer->out_features_, layer->in_features_});
+  layer->bias_grad_ = Tensor(Shape{layer->out_features_});
+  return layer;
+}
+
+}  // namespace dnnv::nn

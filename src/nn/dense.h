@@ -1,0 +1,49 @@
+// Fully connected layer.
+#ifndef DNNV_NN_DENSE_H_
+#define DNNV_NN_DENSE_H_
+
+#include "nn/init.h"
+#include "nn/layer.h"
+
+namespace dnnv::nn {
+
+/// y = x · Wᵀ + b with W stored [out_features, in_features] (one row per
+/// output unit) and x batched [N, in_features].
+class Dense : public Layer {
+ public:
+  /// Constructs with initialised weights; bias starts at zero.
+  Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+        InitKind init = InitKind::kKaimingNormal);
+
+  std::string kind() const override { return "dense"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Tensor sensitivity_backward(const Tensor& sens_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::vector<ParamView> param_views() override;
+  std::unique_ptr<Layer> clone() const override;
+  void save(ByteWriter& writer) const override;
+
+  /// Reconstructs from save() output (tag already consumed by the caller).
+  static std::unique_ptr<Dense> load(ByteReader& reader);
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  Dense() = default;  // for load()
+
+  std::int64_t in_features_ = 0;
+  std::int64_t out_features_ = 0;
+  Tensor weights_;      // [out, in]
+  Tensor bias_;         // [out]
+  Tensor weight_grad_;  // [out, in]
+  Tensor bias_grad_;    // [out]
+  Tensor cached_input_;  // [N, in] from the last forward
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_DENSE_H_

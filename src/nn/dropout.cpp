@@ -1,0 +1,72 @@
+#include "nn/dropout.h"
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), seed_(seed) {
+  DNNV_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0, 1)");
+}
+
+Shape Dropout::output_shape(const Shape& input_shape) const {
+  return input_shape;
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Tensor();  // identity: backward passes gradients through
+    return input;
+  }
+  Rng rng = Rng(seed_).split(draw_++);
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  mask_ = Tensor(input.shape());
+  Tensor output(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float m = rng.flip(rate_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    output[i] = input[i] * m;
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.numel() == 0) return grad_output;  // identity mode
+  DNNV_CHECK(grad_output.same_shape(mask_), "dropout backward shape mismatch");
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * mask_[i];
+  }
+  return grad_input;
+}
+
+Tensor Dropout::sensitivity_backward(const Tensor& sens_output) {
+  // Coverage analysis always runs in inference mode; dropout is identity.
+  if (mask_.numel() == 0) return sens_output;
+  Tensor sens_input(sens_output.shape());
+  for (std::int64_t i = 0; i < sens_output.numel(); ++i) {
+    sens_input[i] = sens_output[i] * mask_[i];
+  }
+  return sens_input;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(rate_, seed_);
+  copy->set_name(name());
+  copy->training_ = training_;
+  copy->draw_ = draw_;
+  return copy;
+}
+
+void Dropout::save(ByteWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_f32(rate_);
+  writer.write_u64(seed_);
+}
+
+std::unique_ptr<Dropout> Dropout::load(ByteReader& reader) {
+  const float rate = reader.read_f32();
+  const std::uint64_t seed = reader.read_u64();
+  return std::make_unique<Dropout>(rate, seed);
+}
+
+}  // namespace dnnv::nn

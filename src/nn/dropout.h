@@ -1,0 +1,44 @@
+// Dropout layer (training-time regularisation; identity at inference).
+#ifndef DNNV_NN_DROPOUT_H_
+#define DNNV_NN_DROPOUT_H_
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace dnnv::nn {
+
+/// Inverted dropout: while training() is on, each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); with training
+/// off the layer is the identity. Masks are drawn from an internal seeded
+/// stream, so training remains reproducible. Dropout keeps units from dying
+/// (every unit must carry signal sometimes) — the utilization lever behind
+/// the dead-unit discussion in EXPERIMENTS.md.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0x12D0);
+
+  std::string kind() const override { return "dropout"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Tensor sensitivity_backward(const Tensor& sens_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::unique_ptr<Layer> clone() const override;
+  void save(ByteWriter& writer) const override;
+  static std::unique_ptr<Dropout> load(ByteReader& reader);
+
+  /// Enables mask sampling (training) or identity behaviour (inference).
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  std::uint64_t seed_;
+  bool training_ = false;
+  std::uint64_t draw_ = 0;   ///< forward counter salting each mask
+  Tensor mask_;              ///< last mask (scaled), for backward
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_DROPOUT_H_

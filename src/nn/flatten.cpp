@@ -1,0 +1,41 @@
+#include "nn/flatten.h"
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+Shape Flatten::output_shape(const Shape& input_shape) const {
+  DNNV_CHECK(input_shape.ndim() >= 2, "flatten expects a batched tensor");
+  std::int64_t features = 1;
+  for (std::size_t axis = 1; axis < input_shape.ndim(); ++axis) {
+    features *= input_shape[axis];
+  }
+  return Shape{input_shape[0], features};
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+Tensor Flatten::sensitivity_backward(const Tensor& sens_output) {
+  return sens_output.reshaped(cached_input_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  auto copy = std::make_unique<Flatten>();
+  copy->set_name(name());
+  return copy;
+}
+
+void Flatten::save(ByteWriter& writer) const { writer.write_string(kind()); }
+
+std::unique_ptr<Flatten> Flatten::load(ByteReader&) {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace dnnv::nn

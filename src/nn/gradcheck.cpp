@@ -1,0 +1,104 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "tensor/batch.h"
+#include "util/error.h"
+
+namespace dnnv::nn {
+namespace {
+
+double loss_at(Sequential& model, const Tensor& batched_input, int label) {
+  const Tensor logits = model.forward(batched_input);
+  return softmax_cross_entropy(logits, {label}).loss;
+}
+
+void update_errors(GradCheckResult& result, double analytic, double numeric) {
+  const double abs_err = std::fabs(analytic - numeric);
+  // Forward passes are float32, so finite differences carry ~1e-7/step noise;
+  // the 0.05 floor keeps near-zero gradients from reporting spurious 100%
+  // relative errors while real sign/scale bugs still blow far past the floor.
+  const double denom = std::max({std::fabs(analytic), std::fabs(numeric), 0.05});
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  result.rel_errors.push_back(abs_err / denom);
+  ++result.checked;
+}
+
+}  // namespace
+
+GradCheckResult check_param_gradients(Sequential& model, const Tensor& input,
+                                      int label, Rng& rng, int sample,
+                                      double step) {
+  const Tensor batched = stack_batch({input});
+  const Tensor logits = model.forward(batched);
+  const LossResult loss = softmax_cross_entropy(logits, {label});
+  model.zero_grads();
+  model.backward(loss.grad_logits);
+
+  const std::int64_t total = model.param_count();
+  std::vector<std::int64_t> indices;
+  if (sample <= 0 || sample >= total) {
+    indices.resize(static_cast<std::size_t>(total));
+    for (std::int64_t i = 0; i < total; ++i) indices[static_cast<std::size_t>(i)] = i;
+  } else {
+    for (int i = 0; i < sample; ++i) {
+      indices.push_back(static_cast<std::int64_t>(rng.uniform_u64(
+          static_cast<std::uint64_t>(total))));
+    }
+  }
+
+  GradCheckResult result;
+  for (const auto idx : indices) {
+    const float analytic = model.get_grad(idx);
+    const float original = model.get_param(idx);
+    model.set_param(idx, original + static_cast<float>(step));
+    const double loss_plus = loss_at(model, batched, label);
+    model.set_param(idx, original - static_cast<float>(step));
+    const double loss_minus = loss_at(model, batched, label);
+    model.set_param(idx, original);
+    const double numeric = (loss_plus - loss_minus) / (2.0 * step);
+    update_errors(result, analytic, numeric);
+  }
+  return result;
+}
+
+GradCheckResult check_input_gradients(Sequential& model, const Tensor& input,
+                                      int label, Rng& rng, int sample,
+                                      double step) {
+  Tensor batched = stack_batch({input});
+  const Tensor logits = model.forward(batched);
+  const LossResult loss = softmax_cross_entropy(logits, {label});
+  model.zero_grads();
+  const Tensor grad_input = model.backward(loss.grad_logits);
+
+  const std::int64_t total = batched.numel();
+  std::vector<std::int64_t> indices;
+  if (sample <= 0 || sample >= total) {
+    indices.resize(static_cast<std::size_t>(total));
+    for (std::int64_t i = 0; i < total; ++i) indices[static_cast<std::size_t>(i)] = i;
+  } else {
+    for (int i = 0; i < sample; ++i) {
+      indices.push_back(static_cast<std::int64_t>(rng.uniform_u64(
+          static_cast<std::uint64_t>(total))));
+    }
+  }
+
+  GradCheckResult result;
+  for (const auto idx : indices) {
+    const float analytic = grad_input[idx];
+    const float original = batched[idx];
+    batched[idx] = original + static_cast<float>(step);
+    const double loss_plus = loss_at(model, batched, label);
+    batched[idx] = original - static_cast<float>(step);
+    const double loss_minus = loss_at(model, batched, label);
+    batched[idx] = original;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * step);
+    update_errors(result, analytic, numeric);
+  }
+  return result;
+}
+
+}  // namespace dnnv::nn

@@ -1,0 +1,51 @@
+// Finite-difference gradient verification (test utility).
+#ifndef DNNV_NN_GRADCHECK_H_
+#define DNNV_NN_GRADCHECK_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace dnnv::nn {
+
+/// Result of a gradient check: worst absolute and relative error over the
+/// compared coordinates, plus an outlier-tolerant failure fraction.
+///
+/// Finite differences are exact only for smooth losses; stepping a parameter
+/// can flip a max-pool argmax or cross a ReLU kink, producing a large error
+/// at isolated coordinates even when autodiff is correct. bad_fraction()
+/// reports how many coordinates exceed a tolerance — a genuine gradient bug
+/// (wrong sign/scale) pushes most coordinates over, an FD kink only a few.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::int64_t checked = 0;
+  std::vector<double> rel_errors;
+
+  /// Fraction of checked coordinates whose relative error exceeds `tol`.
+  double bad_fraction(double tol) const {
+    if (rel_errors.empty()) return 0.0;
+    std::int64_t bad = 0;
+    for (const double e : rel_errors) {
+      if (e > tol) ++bad;
+    }
+    return static_cast<double>(bad) / static_cast<double>(rel_errors.size());
+  }
+};
+
+/// Compares autodiff parameter gradients of the cross-entropy loss at
+/// (input, label) against central finite differences.
+/// Checks `sample` randomly chosen parameters (all when sample <= 0).
+GradCheckResult check_param_gradients(Sequential& model, const Tensor& input,
+                                      int label, Rng& rng, int sample = 64,
+                                      double step = 1e-3);
+
+/// Compares the input gradient (backward's return value) the same way.
+GradCheckResult check_input_gradients(Sequential& model, const Tensor& input,
+                                      int label, Rng& rng, int sample = 64,
+                                      double step = 1e-3);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_GRADCHECK_H_

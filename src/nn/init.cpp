@@ -1,0 +1,47 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+InitKind default_init_for(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+    case ActivationKind::kLeakyReLU:
+      return InitKind::kKaimingNormal;
+    case ActivationKind::kTanh:
+    case ActivationKind::kSigmoid:
+      return InitKind::kXavierNormal;
+  }
+  DNNV_THROW("unknown activation kind");
+}
+
+void initialize_weights(Tensor& weights, InitKind kind, std::int64_t fan_in,
+                        std::int64_t fan_out, Rng& rng) {
+  DNNV_CHECK(fan_in > 0 && fan_out > 0, "fans must be positive");
+  switch (kind) {
+    case InitKind::kKaimingNormal: {
+      const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+      for (std::int64_t i = 0; i < weights.numel(); ++i) {
+        weights[i] = static_cast<float>(rng.normal(0.0, stddev));
+      }
+      return;
+    }
+    case InitKind::kXavierNormal: {
+      const float stddev =
+          std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+      for (std::int64_t i = 0; i < weights.numel(); ++i) {
+        weights[i] = static_cast<float>(rng.normal(0.0, stddev));
+      }
+      return;
+    }
+    case InitKind::kZero:
+      weights.fill(0.0f);
+      return;
+  }
+  DNNV_THROW("unknown init kind");
+}
+
+}  // namespace dnnv::nn

@@ -1,0 +1,27 @@
+// Weight initialisation schemes.
+#ifndef DNNV_NN_INIT_H_
+#define DNNV_NN_INIT_H_
+
+#include "nn/activation.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dnnv::nn {
+
+/// Initialisation scheme for weight tensors.
+enum class InitKind {
+  kKaimingNormal,  ///< N(0, sqrt(2/fan_in)) — suited to ReLU family
+  kXavierNormal,   ///< N(0, sqrt(2/(fan_in+fan_out))) — suited to Tanh/Sigmoid
+  kZero,
+};
+
+/// Picks the conventional scheme for an activation kind.
+InitKind default_init_for(ActivationKind kind);
+
+/// Fills `weights` in place according to `kind`.
+void initialize_weights(Tensor& weights, InitKind kind, std::int64_t fan_in,
+                        std::int64_t fan_out, Rng& rng);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_INIT_H_

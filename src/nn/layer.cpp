@@ -1,0 +1,17 @@
+#include "nn/layer.h"
+
+namespace dnnv::nn {
+
+std::int64_t Layer::param_count() {
+  std::int64_t total = 0;
+  for (const auto& view : param_views()) total += view.size;
+  return total;
+}
+
+void Layer::zero_grads() {
+  for (auto& view : param_views()) {
+    for (std::int64_t i = 0; i < view.size; ++i) view.grad[i] = 0.0f;
+  }
+}
+
+}  // namespace dnnv::nn

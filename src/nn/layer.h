@@ -1,0 +1,86 @@
+// Layer interface: forward, reverse-mode autodiff, and absolute-sensitivity
+// propagation (the coverage engine's fault-propagation pass).
+#ifndef DNNV_NN_LAYER_H_
+#define DNNV_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/serialize.h"
+
+namespace dnnv::nn {
+
+/// Non-owning view of one named parameter tensor and its gradient buffer.
+/// `data` and `grad` are flat arrays of `size` floats owned by the layer.
+struct ParamView {
+  std::string name;   ///< e.g. "conv0.weight"
+  float* data;        ///< parameter values
+  float* grad;        ///< gradient / sensitivity accumulator (same layout)
+  std::int64_t size;  ///< number of scalars
+  bool is_bias;       ///< true for bias vectors (SBA targets biases)
+};
+
+/// Base class for all layers.
+///
+/// Protocol (single-threaded per instance; clone() for parallel use):
+///   1. forward(x) caches whatever the backward passes need.
+///   2. backward(grad_out) consumes the cache of the most recent forward and
+///      ACCUMULATES parameter gradients into the grad buffers; returns the
+///      gradient w.r.t. the layer input.
+///   3. sensitivity_backward(sens_out) is the absolute-value analogue used by
+///      the parameter-coverage engine: sens_out is elementwise nonnegative,
+///      propagation uses |W| and |activation'|, and the resulting parameter
+///      sensitivities are ACCUMULATED INTO THE SAME grad buffers (gradients
+///      and sensitivities are never needed simultaneously).
+/// Callers zero the grad buffers (zero_grads) between uses.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable type tag, also used in the serialisation format ("dense", ...).
+  virtual std::string kind() const = 0;
+
+  /// Instance name used to prefix parameter names (set by Sequential).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+  virtual Tensor sensitivity_backward(const Tensor& sens_output) = 0;
+
+  /// Output shape for a given (un-batched or batched) input shape.
+  virtual Shape output_shape(const Shape& input_shape) const = 0;
+
+  /// Parameter views in a stable order (weights before biases). Default: none.
+  virtual std::vector<ParamView> param_views() { return {}; }
+
+  /// Total scalar parameter count.
+  std::int64_t param_count();
+
+  /// Zeroes all gradient buffers.
+  void zero_grads();
+
+  /// True for activation layers (their outputs define "neurons" for the
+  /// neuron-coverage baseline).
+  virtual bool is_activation() const { return false; }
+
+  /// Deep copy (parameters included, caches excluded).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Serialises layer config + parameters.
+  virtual void save(ByteWriter& writer) const = 0;
+
+ protected:
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_LAYER_H_

@@ -1,0 +1,33 @@
+// Losses over logits: softmax cross-entropy (classification) and MSE.
+#ifndef DNNV_NN_LOSS_H_
+#define DNNV_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dnnv::nn {
+
+/// Loss value plus gradient w.r.t. the logits (same shape as logits).
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad_logits;
+};
+
+/// Row-wise numerically-stable softmax of a [N, k] tensor.
+Tensor softmax(const Tensor& logits);
+
+/// Mean softmax cross-entropy of batched logits [N, k] against integer labels.
+/// grad_logits is the gradient of the MEAN loss (already divided by N).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Mean squared error against a dense target of the same shape.
+LossResult mse_loss(const Tensor& output, const Tensor& target);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_LOSS_H_

@@ -1,0 +1,103 @@
+#include "nn/maxpool2d.h"
+
+#include "tensor/im2col.h"
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  DNNV_CHECK(kernel > 0 && stride > 0, "bad pooling geometry");
+}
+
+Shape MaxPool2d::output_shape(const Shape& input_shape) const {
+  DNNV_CHECK(input_shape.ndim() == 4, "maxpool expects NCHW, got " << input_shape);
+  const std::int64_t out_h = conv_out_dim(input_shape[2], kernel_, stride_, 0);
+  const std::int64_t out_w = conv_out_dim(input_shape[3], kernel_, stride_, 0);
+  return Shape{input_shape[0], input_shape[1], out_h, out_w};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  const std::int64_t out_h = out_shape[2];
+  const std::int64_t out_w = out_shape[3];
+
+  Tensor output(out_shape);
+  argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
+  std::int64_t out_idx = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (i * c + ch) * h * w;
+      const std::int64_t plane_base = (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
+          const std::int64_t y0 = oy * stride_;
+          const std::int64_t x0 = ox * stride_;
+          float best = plane[y0 * w + x0];
+          std::int64_t best_idx = y0 * w + x0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const std::int64_t y = y0 + ky;
+            if (y >= h) break;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t x = x0 + kx;
+              if (x >= w) break;
+              const float v = plane[y * w + x];
+              if (v > best) {
+                best = v;
+                best_idx = y * w + x;
+              }
+            }
+          }
+          output[out_idx] = best;
+          argmax_[static_cast<std::size_t>(out_idx)] = plane_base + best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2d::route_back(const Tensor& upstream) const {
+  DNNV_CHECK(static_cast<std::size_t>(upstream.numel()) == argmax_.size(),
+             "pool upstream size mismatch — forward not called?");
+  Tensor downstream(cached_input_shape_);
+  for (std::int64_t i = 0; i < upstream.numel(); ++i) {
+    downstream[argmax_[static_cast<std::size_t>(i)]] += upstream[i];
+  }
+  return downstream;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  return route_back(grad_output);
+}
+
+Tensor MaxPool2d::sensitivity_backward(const Tensor& sens_output) {
+  // Max pooling is a selection: only the winning tap influences the output,
+  // so sensitivity routes exactly like the gradient.
+  return route_back(sens_output);
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  auto copy = std::make_unique<MaxPool2d>(kernel_, stride_);
+  copy->set_name(name());
+  return copy;
+}
+
+void MaxPool2d::save(ByteWriter& writer) const {
+  writer.write_string(kind());
+  writer.write_i64(kernel_);
+  writer.write_i64(stride_);
+}
+
+std::unique_ptr<MaxPool2d> MaxPool2d::load(ByteReader& reader) {
+  const std::int64_t kernel = reader.read_i64();
+  const std::int64_t stride = reader.read_i64();
+  return std::make_unique<MaxPool2d>(kernel, stride);
+}
+
+}  // namespace dnnv::nn

@@ -1,0 +1,37 @@
+// Max pooling layer.
+#ifndef DNNV_NN_MAXPOOL2D_H_
+#define DNNV_NN_MAXPOOL2D_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dnnv::nn {
+
+/// Non-overlapping-by-default max pooling over NCHW inputs. Backward and
+/// sensitivity passes route to the argmax tap of each window (first on ties).
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+
+  std::string kind() const override { return "maxpool2d"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Tensor sensitivity_backward(const Tensor& sens_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::unique_ptr<Layer> clone() const override;
+  void save(ByteWriter& writer) const override;
+  static std::unique_ptr<MaxPool2d> load(ByteReader& reader);
+
+ private:
+  Tensor route_back(const Tensor& upstream) const;
+
+  std::int64_t kernel_ = 2;
+  std::int64_t stride_ = 2;
+  Shape cached_input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_MAXPOOL2D_H_

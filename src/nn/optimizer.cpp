@@ -1,0 +1,69 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dnnv::nn {
+
+Sgd::Sgd(float learning_rate, float momentum, float weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  DNNV_CHECK(learning_rate > 0.0f, "learning rate must be positive");
+  DNNV_CHECK(momentum >= 0.0f && momentum < 1.0f, "momentum must be in [0, 1)");
+}
+
+void Sgd::step(Sequential& model) {
+  const auto views = model.param_views();
+  std::size_t total = 0;
+  for (const auto& view : views) total += static_cast<std::size_t>(view.size);
+  if (velocity_.size() != total) velocity_.assign(total, 0.0f);
+
+  std::size_t pos = 0;
+  for (const auto& view : views) {
+    for (std::int64_t i = 0; i < view.size; ++i, ++pos) {
+      const float g = view.grad[i] + weight_decay_ * view.data[i];
+      velocity_[pos] = momentum_ * velocity_[pos] - learning_rate_ * g;
+      view.data[i] += velocity_[pos];
+    }
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float epsilon,
+           float weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  DNNV_CHECK(learning_rate > 0.0f, "learning rate must be positive");
+}
+
+void Adam::step(Sequential& model) {
+  const auto views = model.param_views();
+  std::size_t total = 0;
+  for (const auto& view : views) total += static_cast<std::size_t>(view.size);
+  if (m_.size() != total) {
+    m_.assign(total, 0.0f);
+    v_.assign(total, 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+
+  std::size_t pos = 0;
+  for (const auto& view : views) {
+    for (std::int64_t i = 0; i < view.size; ++i, ++pos) {
+      const float g = view.grad[i] + weight_decay_ * view.data[i];
+      m_[pos] = beta1_ * m_[pos] + (1.0f - beta1_) * g;
+      v_[pos] = beta2_ * v_[pos] + (1.0f - beta2_) * g * g;
+      const float m_hat = m_[pos] / bc1;
+      const float v_hat = v_[pos] / bc2;
+      view.data[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace dnnv::nn

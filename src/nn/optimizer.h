@@ -1,0 +1,55 @@
+// Gradient-descent optimisers over a model's parameter views.
+#ifndef DNNV_NN_OPTIMIZER_H_
+#define DNNV_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace dnnv::nn {
+
+/// Optimiser interface: step() applies the accumulated gradients and the
+/// caller zeroes them afterwards (Trainer does both).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently in `model`.
+  virtual void step(Sequential& model) = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float momentum = 0.9f,
+               float weight_decay = 0.0f);
+  void step(Sequential& model) override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<float> velocity_;  // lazily sized to param_count
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f);
+  void step(Sequential& model) override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_OPTIMIZER_H_

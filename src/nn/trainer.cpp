@@ -1,0 +1,155 @@
+#include "nn/trainer.h"
+
+#include <memory>
+#include <numeric>
+
+#include "nn/activation_layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/batch.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace dnnv::nn {
+namespace {
+
+/// Fixed shard count for data-parallel minibatches. A constant (rather than
+/// the hardware thread count) keeps gradient-summation order — and therefore
+/// float results — identical across machines.
+constexpr int kTrainShards = 8;
+
+}  // namespace
+
+TrainResult fit(Sequential& model, const std::vector<Tensor>& inputs,
+                const std::vector<int>& labels, const TrainConfig& config) {
+  DNNV_CHECK(!inputs.empty(), "empty training set");
+  DNNV_CHECK(inputs.size() == labels.size(),
+             "inputs/labels size mismatch: " << inputs.size() << " vs "
+                                             << labels.size());
+  DNNV_CHECK(config.epochs > 0 && config.batch_size > 0, "bad train config");
+
+  std::unique_ptr<Optimizer> opt;
+  if (config.optimizer == TrainConfig::Opt::kAdam) {
+    opt = std::make_unique<Adam>(config.learning_rate, 0.9f, 0.999f, 1e-8f,
+                                 config.weight_decay);
+  } else {
+    opt = std::make_unique<Sgd>(config.learning_rate, config.momentum,
+                                config.weight_decay);
+  }
+
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<int> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Activation-sparsity penalty is active only while fit() runs.
+  auto set_sparsity = [&](Sequential& net, float lambda, float boost) {
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      if (auto* act = dynamic_cast<ActivationLayer*>(&net.layer(l))) {
+        act->set_sparsity_penalty(lambda);
+        act->set_liveness_boost(boost, config.liveness_target);
+      }
+    }
+  };
+  set_sparsity(model, config.activation_l1, config.liveness_boost);
+
+  // Data-parallel replicas: each minibatch is split into kTrainShards
+  // contiguous sub-batches whose gradients are computed concurrently and
+  // summed in shard order (deterministic regardless of thread count).
+  std::vector<Sequential> replicas;
+  for (int s = 1; s < kTrainShards; ++s) replicas.push_back(model.clone());
+  ThreadPool& pool = ThreadPool::shared();
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
+      const std::size_t batch_total = end - start;
+
+      // Shard boundaries (first shard runs on `model` itself).
+      const int shards = static_cast<int>(
+          std::min<std::size_t>(kTrainShards, batch_total));
+      const std::size_t per_shard = (batch_total + shards - 1) / shards;
+
+      const std::vector<float> snapshot = model.snapshot_params();
+      std::vector<double> shard_loss(static_cast<std::size_t>(shards), 0.0);
+      model.zero_grads();
+      for (int s = 0; s < shards; ++s) {
+        pool.submit([&, s] {
+          Sequential& net = s == 0 ? model : replicas[static_cast<std::size_t>(s - 1)];
+          if (s != 0) {
+            net.restore_params(snapshot);
+            net.zero_grads();
+          }
+          const std::size_t shard_begin = start + static_cast<std::size_t>(s) * per_shard;
+          const std::size_t shard_end =
+              std::min(end, shard_begin + per_shard);
+          if (shard_begin >= shard_end) return;
+          std::vector<Tensor> items;
+          std::vector<int> shard_labels;
+          items.reserve(shard_end - shard_begin);
+          for (std::size_t i = shard_begin; i < shard_end; ++i) {
+            items.push_back(inputs[static_cast<std::size_t>(order[i])]);
+            shard_labels.push_back(labels[static_cast<std::size_t>(order[i])]);
+          }
+          const Tensor logits = net.forward(stack_batch(items));
+          const LossResult loss = softmax_cross_entropy(logits, shard_labels);
+          // Scale mean-reduced shard gradients to the full-batch mean.
+          const float weight = static_cast<float>(items.size()) /
+                               static_cast<float>(batch_total);
+          Tensor grad = loss.grad_logits;
+          grad *= weight;
+          net.backward(grad);
+          shard_loss[static_cast<std::size_t>(s)] =
+              loss.loss * static_cast<double>(weight);
+        });
+      }
+      pool.wait_all();
+      // Deterministic reduction: add replica gradients in shard order.
+      const auto main_views = model.param_views();
+      for (int s = 1; s < shards; ++s) {
+        const auto views = replicas[static_cast<std::size_t>(s - 1)].param_views();
+        for (std::size_t v = 0; v < views.size(); ++v) {
+          for (std::int64_t i = 0; i < views[v].size; ++i) {
+            main_views[v].grad[i] += views[v].grad[i];
+          }
+        }
+      }
+      opt->step(model);
+      for (const double l : shard_loss) epoch_loss += l;
+      ++batches;
+    }
+    result.final_loss = epoch_loss / static_cast<double>(batches);
+    result.epochs_run = epoch + 1;
+    if (config.on_epoch) config.on_epoch(epoch, result.final_loss);
+  }
+  set_sparsity(model, 0.0f, 0.0f);
+  model.zero_grads();
+  return result;
+}
+
+double evaluate_accuracy(Sequential& model, const std::vector<Tensor>& inputs,
+                         const std::vector<int>& labels, int batch_size) {
+  DNNV_CHECK(inputs.size() == labels.size(), "inputs/labels size mismatch");
+  DNNV_CHECK(batch_size > 0, "batch size must be positive");
+  if (inputs.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t start = 0; start < inputs.size();
+       start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(inputs.size(), start + static_cast<std::size_t>(batch_size));
+    std::vector<Tensor> batch_items(inputs.begin() + static_cast<std::ptrdiff_t>(start),
+                                    inputs.begin() + static_cast<std::ptrdiff_t>(end));
+    const auto predicted = model.predict_labels(stack_batch(batch_items));
+    for (std::size_t i = start; i < end; ++i) {
+      if (predicted[i - start] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+}  // namespace dnnv::nn

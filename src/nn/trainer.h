@@ -1,0 +1,52 @@
+// Minibatch training loop.
+#ifndef DNNV_NN_TRAINER_H_
+#define DNNV_NN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace dnnv::nn {
+
+/// Training hyperparameters.
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 32;
+  float learning_rate = 1e-3f;
+  enum class Opt { kSgd, kAdam } optimizer = Opt::kAdam;
+  float momentum = 0.9f;  ///< used by SGD only
+  float weight_decay = 0.0f;  ///< L2 penalty applied inside the optimiser
+  /// L1 activation-sparsity coefficient (drives selective, negatively-biased
+  /// features; see ActivationLayer::set_sparsity_penalty). Applied only for
+  /// the duration of fit().
+  float activation_l1 = 0.0f;
+  /// Liveness regularisation: push units whose batch-mean activation is
+  /// below `liveness_target` to fire more (0 disables). See
+  /// ActivationLayer::set_liveness_boost.
+  float liveness_boost = 0.0f;
+  float liveness_target = 0.1f;
+  std::uint64_t shuffle_seed = 1;
+  /// Called after each epoch with (epoch, mean train loss); may be empty.
+  std::function<void(int, double)> on_epoch;
+};
+
+/// Statistics of a completed fit() call.
+struct TrainResult {
+  double final_loss = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains `model` on (inputs[i], labels[i]) pairs with softmax cross-entropy.
+/// Inputs are un-batched items of identical shape.
+TrainResult fit(Sequential& model, const std::vector<Tensor>& inputs,
+                const std::vector<int>& labels, const TrainConfig& config);
+
+/// Top-1 accuracy of `model` on a labelled set (batched internally).
+double evaluate_accuracy(Sequential& model, const std::vector<Tensor>& inputs,
+                         const std::vector<int>& labels, int batch_size = 64);
+
+}  // namespace dnnv::nn
+
+#endif  // DNNV_NN_TRAINER_H_

@@ -1,0 +1,45 @@
+#include "tensor/batch.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace dnnv {
+
+Tensor stack_batch(const std::vector<Tensor>& items) {
+  DNNV_CHECK(!items.empty(), "cannot stack an empty batch");
+  const Shape& item_shape = items.front().shape();
+  std::vector<std::int64_t> dims;
+  dims.push_back(static_cast<std::int64_t>(items.size()));
+  dims.insert(dims.end(), item_shape.dims().begin(), item_shape.dims().end());
+  Tensor out{Shape(dims)};
+  const std::int64_t stride = item_shape.numel();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    DNNV_CHECK(items[i].shape() == item_shape,
+               "batch item " << i << " has shape " << items[i].shape()
+                             << ", expected " << item_shape);
+    std::memcpy(out.data() + static_cast<std::int64_t>(i) * stride,
+                items[i].data(), static_cast<std::size_t>(stride) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor slice_batch(const Tensor& batch, std::int64_t index) {
+  DNNV_CHECK(batch.shape().ndim() >= 2, "slice_batch needs a batched tensor");
+  const std::int64_t n = batch.shape()[0];
+  DNNV_CHECK(index >= 0 && index < n, "batch index " << index << " out of " << n);
+  std::vector<std::int64_t> dims(batch.shape().dims().begin() + 1,
+                                 batch.shape().dims().end());
+  Tensor out{Shape(dims)};
+  const std::int64_t stride = out.numel();
+  std::memcpy(out.data(), batch.data() + index * stride,
+              static_cast<std::size_t>(stride) * sizeof(float));
+  return out;
+}
+
+std::int64_t batch_size(const Tensor& batch) {
+  DNNV_CHECK(batch.shape().ndim() >= 1, "batch_size of rank-0 tensor");
+  return batch.shape()[0];
+}
+
+}  // namespace dnnv

@@ -1,0 +1,22 @@
+// Batch assembly/disassembly helpers ([N, ...] <-> N x [...]).
+#ifndef DNNV_TENSOR_BATCH_H_
+#define DNNV_TENSOR_BATCH_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dnnv {
+
+/// Stacks same-shaped tensors into one tensor with a leading batch axis.
+Tensor stack_batch(const std::vector<Tensor>& items);
+
+/// Extracts item `index` of a batched tensor (drops the leading axis).
+Tensor slice_batch(const Tensor& batch, std::int64_t index);
+
+/// Number of items along the leading axis.
+std::int64_t batch_size(const Tensor& batch);
+
+}  // namespace dnnv
+
+#endif  // DNNV_TENSOR_BATCH_H_

@@ -1,0 +1,70 @@
+#include "tensor/gemm.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace dnnv {
+namespace {
+
+// Core kernel: row-major C[M,N] += alpha * A[M,K] * B[K,N] with an i-k-j loop
+// order so the inner loop streams both B and C (auto-vectorises under -O3).
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * a[i * k + p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+// Transposes src[rows,cols] into dst[cols,rows].
+void transpose(std::int64_t rows, std::int64_t cols, const float* src,
+               float* dst) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t col = 0; col < cols; ++col) {
+      dst[col * rows + r] = src[r * cols + col];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  DNNV_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dims");
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Normalise to the NN case by materialising transposed copies. The matrices
+  // in this library are small (≤ a few MB); copy cost is negligible next to
+  // the O(mnk) multiply and keeps a single well-optimised kernel.
+  std::vector<float> a_buf;
+  const float* a_nn = a;
+  if (trans_a) {
+    a_buf.resize(static_cast<std::size_t>(m * k));
+    transpose(k, m, a, a_buf.data());
+    a_nn = a_buf.data();
+  }
+  std::vector<float> b_buf;
+  const float* b_nn = b;
+  if (trans_b) {
+    b_buf.resize(static_cast<std::size_t>(k * n));
+    transpose(n, k, b, b_buf.data());
+    b_nn = b_buf.data();
+  }
+  gemm_nn(m, n, k, alpha, a_nn, b_nn, c);
+}
+
+}  // namespace dnnv

@@ -1,0 +1,18 @@
+// Single-precision GEMM used by the Dense and Conv2d kernels.
+#ifndef DNNV_TENSOR_GEMM_H_
+#define DNNV_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace dnnv {
+
+/// C[M,N] = alpha * op(A) * op(B) + beta * C, row-major.
+/// op(A) is A[M,K] (trans_a=false) or Aᵀ with A stored [K,M] (trans_a=true);
+/// likewise for B with dimensions [K,N] / [N,K].
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+}  // namespace dnnv
+
+#endif  // DNNV_TENSOR_GEMM_H_

@@ -1,0 +1,71 @@
+#include "tensor/im2col.h"
+
+#include "util/error.h"
+
+namespace dnnv {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad) {
+  DNNV_CHECK(stride > 0, "stride must be positive");
+  const std::int64_t eff = in + 2 * pad - kernel;
+  DNNV_CHECK(eff >= 0, "kernel " << kernel << " larger than padded input "
+                                 << in + 2 * pad);
+  return eff / stride + 1;
+}
+
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* columns) {
+  const std::int64_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::int64_t out_w = conv_out_dim(width, kw, stride, pad);
+  const std::int64_t out_plane = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* plane = image + c * height * width;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
+        float* out_row = columns + row * out_plane;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            for (std::int64_t ox = 0; ox < out_w; ++ox) out_row[oy * out_w + ox] = 0.0f;
+            continue;
+          }
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            out_row[oy * out_w + ox] =
+                (ix < 0 || ix >= width) ? 0.0f : plane[iy * width + ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* image) {
+  const std::int64_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::int64_t out_w = conv_out_dim(width, kw, stride, pad);
+  const std::int64_t out_plane = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* plane = image + c * height * width;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
+        const float* in_row = columns + row * out_plane;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) continue;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            if (ix < 0 || ix >= width) continue;
+            plane[iy * width + ix] += in_row[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dnnv

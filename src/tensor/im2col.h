@@ -1,0 +1,28 @@
+// im2col / col2im lowering used by the Conv2d kernels.
+#ifndef DNNV_TENSOR_IM2COL_H_
+#define DNNV_TENSOR_IM2COL_H_
+
+#include <cstdint>
+
+namespace dnnv {
+
+/// Output spatial size of a convolution/pooling window sweep.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad);
+
+/// Unfolds one CHW image into a [channels*kh*kw, out_h*out_w] column matrix
+/// (row-major). Out-of-bounds (padding) taps read as 0.
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* columns);
+
+/// Adjoint of im2col: scatters a column matrix back into a CHW image,
+/// accumulating overlapping taps. `image` must be zeroed by the caller when a
+/// fresh gradient is wanted.
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* image);
+
+}  // namespace dnnv
+
+#endif  // DNNV_TENSOR_IM2COL_H_

@@ -1,0 +1,142 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dnnv {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DNNV_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+             "data size " << data_.size() << " does not match shape "
+                          << shape_.to_string());
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> index) const {
+  DNNV_CHECK(index.size() == shape_.ndim(),
+             "index rank " << index.size() << " does not match shape "
+                           << shape_.to_string());
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (const auto i : index) {
+    DNNV_CHECK(i >= 0 && i < shape_[axis],
+               "index " << i << " out of range on axis " << axis << " of "
+                        << shape_.to_string());
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> index) {
+  return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return data_[static_cast<std::size_t>(flat_index(index))];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DNNV_CHECK(new_shape.numel() == numel(),
+             "cannot reshape " << shape_.to_string() << " ("
+                               << numel() << " elems) to " << new_shape.to_string());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  DNNV_CHECK(same_shape(other), "shape mismatch " << shape_.to_string() << " vs "
+                                                  << other.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  DNNV_CHECK(same_shape(other), "shape mismatch " << shape_.to_string() << " vs "
+                                                  << other.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double sum(const Tensor& t) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) acc += t[i];
+  return acc;
+}
+
+double mean(const Tensor& t) {
+  return t.numel() == 0 ? 0.0 : sum(t) / static_cast<double>(t.numel());
+}
+
+std::int64_t argmax(const Tensor& t) {
+  DNNV_CHECK(t.numel() > 0, "argmax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < t.numel(); ++i) {
+    if (t[i] > t[best]) best = i;
+  }
+  return best;
+}
+
+float max_abs(const Tensor& t) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+void clamp_(Tensor& t, float lo, float hi) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = std::clamp(t[i], lo, hi);
+  }
+}
+
+double squared_distance(const Tensor& a, const Tensor& b) {
+  DNNV_CHECK(a.same_shape(b), "shape mismatch " << a.shape().to_string() << " vs "
+                                                << b.shape().to_string());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace dnnv

@@ -1,0 +1,99 @@
+// Owning, contiguous, row-major float32 tensor.
+//
+// Deliberately simple: no views, no strides, no broadcasting. The nn layer
+// kernels (GEMM, im2col) handle their own indexing; everything else operates
+// elementwise. This keeps ownership and aliasing trivial to reason about
+// (Core Guidelines P.9/R.1): a Tensor is a value type.
+#ifndef DNNV_TENSOR_TENSOR_H_
+#define DNNV_TENSOR_TENSOR_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace dnnv {
+
+class Rng;
+
+/// Value-semantic dense float tensor.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements is represented as shape [0]).
+  Tensor() = default;
+
+  /// Allocates zero-initialised storage for `shape`.
+  explicit Tensor(Shape shape);
+
+  /// Wraps existing data (copied); data.size() must equal shape.numel().
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked multi-dimensional access (row-major).
+  float& at(std::initializer_list<std::int64_t> index);
+  float at(std::initializer_list<std::int64_t> index) const;
+
+  /// Returns a copy with a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place fill.
+  void fill(float value);
+
+  /// Elementwise in-place ops (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Elementwise helpers returning new tensors.
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+  friend Tensor operator*(Tensor lhs, float scalar) { return lhs *= scalar; }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> index) const;
+
+  Shape shape_{std::vector<std::int64_t>{0}};
+  std::vector<float> data_;
+};
+
+/// Sum of all elements.
+double sum(const Tensor& t);
+
+/// Mean of all elements (0 for empty).
+double mean(const Tensor& t);
+
+/// Index of the maximum element (first on ties); tensor must be non-empty.
+std::int64_t argmax(const Tensor& t);
+
+/// Maximum absolute element (0 for empty).
+float max_abs(const Tensor& t);
+
+/// Clamps every element into [lo, hi] in place.
+void clamp_(Tensor& t, float lo, float hi);
+
+/// Squared L2 distance between same-shaped tensors.
+double squared_distance(const Tensor& a, const Tensor& b);
+
+}  // namespace dnnv
+
+#endif  // DNNV_TENSOR_TENSOR_H_

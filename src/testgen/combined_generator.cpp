@@ -1,0 +1,145 @@
+#include "testgen/combined_generator.h"
+
+#include <queue>
+
+#include "util/error.h"
+
+namespace dnnv::testgen {
+
+CombinedGenerator::CombinedGenerator(Options options) : options_(options) {
+  DNNV_CHECK(options_.max_tests >= 0, "negative test budget");
+}
+
+GenerationResult CombinedGenerator::generate(
+    const nn::Sequential& model, const std::vector<Tensor>& pool,
+    const Shape& item_shape, int num_classes,
+    cov::CoverageAccumulator& accumulator) const {
+  const auto masks = cov::activation_masks(model, pool, options_.coverage);
+  return generate(model, pool, masks, item_shape, num_classes, accumulator);
+}
+
+GenerationResult CombinedGenerator::generate(
+    const nn::Sequential& model, const std::vector<Tensor>& pool,
+    const std::vector<DynamicBitset>& masks, const Shape& item_shape,
+    int num_classes, cov::CoverageAccumulator& accumulator) const {
+  DNNV_CHECK(pool.size() == masks.size(), "pool/mask size mismatch");
+
+  GenerationResult result;
+  Rng rng(options_.gradient.seed);
+  nn::Sequential true_model = model.clone();
+  cov::ParameterCoverage coverage(true_model, options_.coverage);
+  GradientGenerator gradient(options_.gradient);
+
+  // Lazy-greedy heap over the pool (see GreedySelector for the argument).
+  struct Entry {
+    std::size_t gain;
+    std::size_t index;
+    bool operator<(const Entry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<bool> used(pool.size(), false);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    heap.push({accumulator.marginal_gain(masks[i]), i});
+  }
+  // Peeks the candidate with the provably-maximal refreshed gain (the winner
+  // is pushed back so a non-commit keeps it available); returns SIZE_MAX when
+  // the pool is exhausted.
+  auto best_greedy = [&]() -> std::pair<std::size_t, std::size_t> {
+    while (!heap.empty()) {
+      Entry top = heap.top();
+      heap.pop();
+      if (used[top.index]) continue;
+      const std::size_t fresh = accumulator.marginal_gain(masks[top.index]);
+      if (heap.empty() || fresh >= heap.top().gain) {
+        heap.push({fresh, top.index});
+        return {top.index, fresh};
+      }
+      top.gain = fresh;
+      heap.push(top);
+    }
+    return {SIZE_MAX, 0};
+  };
+
+  // Cached probe batch from Algorithm 2 (inputs + activation masks on the
+  // true model). Synthesis targets the CURRENT un-activated set (masked
+  // model), so a cached probe goes stale as greedy picks grow the covered
+  // set — it is regenerated after every kProbeRefresh greedy commits, not
+  // only when committed.
+  constexpr int kProbeRefresh = 8;
+  std::vector<Tensor> probe_inputs;
+  std::vector<DynamicBitset> probe_masks;
+  int synth_batches = 0;
+  int commits_since_probe = 0;
+  auto make_probe = [&] {
+    nn::Sequential loss_model =
+        options_.gradient.mask_activated
+            ? GradientGenerator::masked_model(model, accumulator.covered())
+            : model.clone();
+    probe_inputs = gradient.generate_batch(loss_model, item_shape, num_classes,
+                                           synth_batches, rng);
+    ++synth_batches;
+    commits_since_probe = 0;
+    probe_masks.clear();
+    for (const auto& input : probe_inputs) {
+      probe_masks.push_back(coverage.activation_mask(input));
+    }
+  };
+  auto probe_gain_per_test = [&]() -> double {
+    DynamicBitset joint = accumulator.covered();
+    std::size_t before = joint.count();
+    for (const auto& mask : probe_masks) joint |= mask;
+    return static_cast<double>(joint.count() - before) /
+           static_cast<double>(probe_masks.size());
+  };
+  auto commit_probe = [&] {
+    for (std::size_t i = 0; i < probe_inputs.size() &&
+                            static_cast<int>(result.tests.size()) <
+                                options_.max_tests;
+         ++i) {
+      accumulator.add(probe_masks[i]);
+      FunctionalTest test;
+      test.input = probe_inputs[i];
+      test.source = TestSource::kSynthetic;
+      result.tests.push_back(std::move(test));
+      result.coverage_after.push_back(accumulator.coverage());
+    }
+    probe_inputs.clear();
+    probe_masks.clear();
+  };
+
+  bool switched = false;
+  while (static_cast<int>(result.tests.size()) < options_.max_tests) {
+    if (switched) {
+      make_probe();
+      commit_probe();
+      continue;
+    }
+    const auto [greedy_index, greedy_gain] = best_greedy();
+    if (probe_inputs.empty() || commits_since_probe >= kProbeRefresh) {
+      make_probe();
+    }
+    const double synth_gain = probe_gain_per_test();
+
+    // §IV-D switch rule: move to Algorithm 2 when its per-test coverage gain
+    // exceeds Algorithm 1's next pick.
+    if (greedy_index == SIZE_MAX ||
+        synth_gain > static_cast<double>(greedy_gain)) {
+      commit_probe();
+      if (options_.policy == SwitchPolicy::kSwitchOnce) switched = true;
+      continue;
+    }
+    accumulator.add(masks[greedy_index]);
+    used[greedy_index] = true;
+    ++commits_since_probe;
+    FunctionalTest test;
+    test.input = pool[greedy_index];
+    test.source = TestSource::kTrainingSample;
+    test.pool_index = static_cast<std::int64_t>(greedy_index);
+    result.tests.push_back(std::move(test));
+    result.coverage_after.push_back(accumulator.coverage());
+  }
+  result.final_coverage = accumulator.coverage();
+  return result;
+}
+
+}  // namespace dnnv::testgen

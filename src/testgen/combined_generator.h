@@ -1,0 +1,56 @@
+// Combined functional test generation (paper §IV-D).
+//
+// Run Algorithm 1 (training-set selection) while it is the more efficient
+// producer, and switch to Algorithm 2 (gradient synthesis) once the coverage
+// gain per synthetic test exceeds the best remaining training sample's gain.
+#ifndef DNNV_TESTGEN_COMBINED_GENERATOR_H_
+#define DNNV_TESTGEN_COMBINED_GENERATOR_H_
+
+#include "testgen/gradient_generator.h"
+#include "testgen/greedy_selector.h"
+
+namespace dnnv::testgen {
+
+/// When to hand over from Algorithm 1 to Algorithm 2.
+enum class SwitchPolicy {
+  /// Paper behaviour: the first time Algorithm 2's per-test gain beats
+  /// Algorithm 1's, commit to Algorithm 2 for the rest of the budget.
+  kSwitchOnce,
+  /// Ablation: keep comparing both producers at every step.
+  kInterleaved,
+};
+
+/// Orchestrates the two generators against a shared coverage accumulator.
+class CombinedGenerator {
+ public:
+  struct Options {
+    int max_tests = 50;
+    SwitchPolicy policy = SwitchPolicy::kSwitchOnce;
+    cov::CoverageConfig coverage;
+    GradientGenerator::Options gradient;  ///< max_tests ignored (budget shared)
+  };
+
+  explicit CombinedGenerator(Options options);
+
+  /// `pool` is the training candidate set. `masks` are its precomputed
+  /// activation masks (from cov::activation_masks with the same coverage
+  /// config); passing them in lets benches share the expensive pool pass.
+  GenerationResult generate(const nn::Sequential& model,
+                            const std::vector<Tensor>& pool,
+                            const std::vector<DynamicBitset>& masks,
+                            const Shape& item_shape, int num_classes,
+                            cov::CoverageAccumulator& accumulator) const;
+
+  /// Convenience overload that computes pool masks itself.
+  GenerationResult generate(const nn::Sequential& model,
+                            const std::vector<Tensor>& pool,
+                            const Shape& item_shape, int num_classes,
+                            cov::CoverageAccumulator& accumulator) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dnnv::testgen
+
+#endif  // DNNV_TESTGEN_COMBINED_GENERATOR_H_

@@ -1,0 +1,37 @@
+// Functional-test value types shared by all generators.
+#ifndef DNNV_TESTGEN_FUNCTIONAL_TEST_H_
+#define DNNV_TESTGEN_FUNCTIONAL_TEST_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dnnv::testgen {
+
+/// Where a functional test came from.
+enum class TestSource {
+  kTrainingSample,  ///< selected from the training pool (Algorithm 1)
+  kSynthetic,       ///< synthesised by gradient descent (Algorithm 2)
+  kRandom,          ///< random-control selection
+};
+
+/// One functional test: an input image the vendor will ship with its golden
+/// output.
+struct FunctionalTest {
+  Tensor input;
+  TestSource source = TestSource::kTrainingSample;
+  /// Index into the candidate pool for selected tests, -1 for synthetic.
+  std::int64_t pool_index = -1;
+};
+
+/// Output of a generation run: the ordered tests plus the coverage
+/// trajectory (VC(X) after each test) — the series plotted in Fig 3.
+struct GenerationResult {
+  std::vector<FunctionalTest> tests;
+  std::vector<double> coverage_after;
+  double final_coverage = 0.0;
+};
+
+}  // namespace dnnv::testgen
+
+#endif  // DNNV_TESTGEN_FUNCTIONAL_TEST_H_

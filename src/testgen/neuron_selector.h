@@ -1,0 +1,50 @@
+// Baseline: test selection by NEURON coverage (the hardware-testing
+// criterion of [10]/[11]) — what the paper's Tables II/III compare against.
+#ifndef DNNV_TESTGEN_NEURON_SELECTOR_H_
+#define DNNV_TESTGEN_NEURON_SELECTOR_H_
+
+#include "coverage/neuron_coverage.h"
+#include "nn/sequential.h"
+#include "testgen/functional_test.h"
+#include "util/rng.h"
+
+namespace dnnv::testgen {
+
+/// Greedy selection from the training pool maximising *neuron* coverage.
+/// Neuron coverage saturates after a handful of tests (every neuron fires on
+/// some common input); once no candidate adds a new neuron the remaining
+/// budget is filled with random unused pool samples, which models the
+/// baseline's behaviour of stopping at "all neurons covered".
+class NeuronCoverageSelector {
+ public:
+  struct Options {
+    int max_tests = 50;
+    cov::NeuronCoverageConfig coverage;
+    std::uint64_t fill_seed = 11;  ///< for the post-saturation random fill
+  };
+
+  explicit NeuronCoverageSelector(Options options) : options_(options) {}
+
+  GenerationResult select(const nn::Sequential& model, const Shape& item_shape,
+                          const std::vector<Tensor>& pool) const;
+
+ private:
+  Options options_;
+};
+
+/// Control: uniform random selection from the pool (no coverage signal).
+class RandomSelector {
+ public:
+  RandomSelector(int max_tests, std::uint64_t seed)
+      : max_tests_(max_tests), seed_(seed) {}
+
+  GenerationResult select(const std::vector<Tensor>& pool) const;
+
+ private:
+  int max_tests_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dnnv::testgen
+
+#endif  // DNNV_TESTGEN_NEURON_SELECTOR_H_

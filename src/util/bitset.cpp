@@ -1,0 +1,110 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace dnnv {
+
+DynamicBitset::DynamicBitset(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+void DynamicBitset::set(std::size_t i) {
+  DNNV_CHECK(i < size_, "bit index " << i << " out of range " << size_);
+  words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  DNNV_CHECK(i < size_, "bit index " << i << " out of range " << size_);
+  words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+}
+
+bool DynamicBitset::test(std::size_t i) const {
+  DNNV_CHECK(i < size_, "bit index " << i << " out of range " << size_);
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void DynamicBitset::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+void DynamicBitset::check_same_size(const DynamicBitset& other) const {
+  DNNV_CHECK(size_ == other.size_,
+             "bitset size mismatch: " << size_ << " vs " << other.size_);
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t DynamicBitset::count_new_bits(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(other.words_[i] & ~words_[i]));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::count_common_bits(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(other.words_[i] & words_[i]));
+  }
+  return total;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<std::size_t> DynamicBitset::set_bits() const {
+  std::vector<std::size_t> bits;
+  bits.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      bits.push_back(wi * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return bits;
+}
+
+DynamicBitset DynamicBitset::from_words(std::vector<std::uint64_t> words,
+                                        std::size_t size) {
+  DNNV_CHECK(words.size() == (size + 63) / 64,
+             "word count " << words.size() << " inconsistent with size " << size);
+  DynamicBitset bs;
+  bs.size_ = size;
+  bs.words_ = std::move(words);
+  if (size % 64 != 0 && !bs.words_.empty()) {
+    // Mask stray bits beyond `size` so count()/equality stay canonical.
+    bs.words_.back() &= (std::uint64_t{1} << (size % 64)) - 1;
+  }
+  return bs;
+}
+
+}  // namespace dnnv

@@ -1,0 +1,82 @@
+// Dynamic bitset used for parameter/neuron activation sets.
+//
+// Coverage computations reduce to unions and popcounts over sets with one bit
+// per model parameter, so the hot operations (union, count-new-bits) are
+// implemented word-wise with hardware popcount.
+#ifndef DNNV_UTIL_BITSET_H_
+#define DNNV_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnnv {
+
+/// Fixed-size (at construction) bitset with word-level set algebra.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset with `size` bits, all clear.
+  explicit DynamicBitset(std::size_t size);
+
+  /// Number of bits.
+  std::size_t size() const { return size_; }
+
+  /// Sets bit `i` (must be < size()).
+  void set(std::size_t i);
+
+  /// Clears bit `i` (must be < size()).
+  void reset(std::size_t i);
+
+  /// Reads bit `i` (must be < size()).
+  bool test(std::size_t i) const;
+
+  /// Clears all bits.
+  void clear();
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// True when no bit is set.
+  bool none() const { return count() == 0; }
+
+  /// In-place union; other must have the same size.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  /// In-place intersection; other must have the same size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  /// In-place difference (this \ other); other must have the same size.
+  DynamicBitset& subtract(const DynamicBitset& other);
+
+  /// Number of bits set in `other` but not in `this`, without materialising
+  /// the union. This is the marginal-coverage-gain primitive of the greedy
+  /// selector (Algorithm 1).
+  std::size_t count_new_bits(const DynamicBitset& other) const;
+
+  /// Popcount of the intersection.
+  std::size_t count_common_bits(const DynamicBitset& other) const;
+
+  bool operator==(const DynamicBitset& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> set_bits() const;
+
+  /// Raw words (little-endian bit order within each word); for serialisation.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Rebuilds from raw words + bit count (inverse of words()/size()).
+  static DynamicBitset from_words(std::vector<std::uint64_t> words,
+                                  std::size_t size);
+
+ private:
+  void check_same_size(const DynamicBitset& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_BITSET_H_

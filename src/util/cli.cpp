@@ -1,0 +1,78 @@
+#include "util/cli.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dnnv {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known_options) {
+  auto is_known = [&](const std::string& name) {
+    return std::find(known_options.begin(), known_options.end(), name) !=
+           known_options.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DNNV_CHECK(arg.rfind("--", 0) == 0, "expected --option, got '" << arg << "'");
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // A following token that is not itself an option is this option's value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag
+      }
+    }
+    DNNV_CHECK(is_known(name), "unknown option --" << name);
+    values_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    DNNV_THROW("option --" << name << " expects an integer, got '" << it->second << "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    DNNV_THROW("option --" << name << " expects a number, got '" << it->second << "'");
+  }
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  DNNV_THROW("option --" << name << " expects a boolean, got '" << v << "'");
+}
+
+}  // namespace dnnv

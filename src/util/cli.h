@@ -1,0 +1,33 @@
+// Tiny command-line parser for bench and example binaries.
+//
+// Supported syntax: --name value, --name=value, --flag (boolean true).
+// Unknown options throw, so typos in experiment sweeps fail loudly.
+#ifndef DNNV_UTIL_CLI_H_
+#define DNNV_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dnnv {
+
+/// Parsed command line with typed, defaulted accessors.
+class CliArgs {
+ public:
+  /// Parses argv; `known_options` lists every accepted --name (without dashes).
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& known_options);
+
+  bool has(const std::string& name) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_CLI_H_

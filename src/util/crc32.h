@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial) for test-package integrity checking.
+#ifndef DNNV_UTIL_CRC32_H_
+#define DNNV_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnnv {
+
+/// CRC-32 of a byte range (reflected, init/xorout 0xFFFFFFFF — same as zlib).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Convenience overload.
+std::uint32_t crc32(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_CRC32_H_

@@ -1,0 +1,50 @@
+// Error-handling machinery: a library-wide exception type plus precondition
+// and invariant checks (C++ Core Guidelines I.5/I.10 style).
+#ifndef DNNV_UTIL_ERROR_H_
+#define DNNV_UTIL_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dnnv {
+
+/// Exception thrown by all dnnv libraries on contract violations and
+/// unrecoverable runtime failures (I/O, format errors, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dnnv
+
+/// Throws dnnv::Error with file/line context. Usage:
+///   DNNV_THROW("bad shape " << shape);
+#define DNNV_THROW(msg_stream)                                   \
+  do {                                                           \
+    std::ostringstream dnnv_os_;                                 \
+    dnnv_os_ << msg_stream;                                      \
+    ::dnnv::detail::throw_error(__FILE__, __LINE__, dnnv_os_.str()); \
+  } while (false)
+
+/// Precondition / invariant check; throws dnnv::Error when violated.
+/// Always enabled (these guard API contracts, not hot inner loops).
+#define DNNV_CHECK(cond, msg_stream)                             \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      DNNV_THROW("check failed (" #cond "): " << msg_stream);    \
+    }                                                            \
+  } while (false)
+
+#endif  // DNNV_UTIL_ERROR_H_

@@ -1,0 +1,70 @@
+#include "util/image_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace dnnv {
+namespace {
+
+std::uint8_t to_byte(float v) {
+  const float c = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+}
+
+std::ofstream open_binary(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DNNV_CHECK(out.good(), "cannot open " << path << " for writing");
+  return out;
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const float* pixels, int height,
+               int width) {
+  DNNV_CHECK(height > 0 && width > 0, "bad image dims " << height << "x" << width);
+  auto out = open_binary(path);
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  for (int i = 0; i < height * width; ++i) {
+    const std::uint8_t b = to_byte(pixels[i]);
+    out.write(reinterpret_cast<const char*>(&b), 1);
+  }
+  DNNV_CHECK(out.good(), "short write to " << path);
+}
+
+void write_ppm_chw(const std::string& path, const float* pixels, int height,
+                   int width) {
+  DNNV_CHECK(height > 0 && width > 0, "bad image dims " << height << "x" << width);
+  auto out = open_binary(path);
+  out << "P6\n" << width << ' ' << height << "\n255\n";
+  const int plane = height * width;
+  for (int i = 0; i < plane; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      const std::uint8_t b = to_byte(pixels[c * plane + i]);
+      out.write(reinterpret_cast<const char*>(&b), 1);
+    }
+  }
+  DNNV_CHECK(out.good(), "short write to " << path);
+}
+
+std::string ascii_art(const float* pixels, int height, int width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kRamp) - 2;  // exclude NUL, index range 0..9
+  std::string art;
+  art.reserve(static_cast<std::size_t>(height) * (width + 1));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float v = std::clamp(pixels[y * width + x], 0.0f, 1.0f);
+      art.push_back(kRamp[static_cast<int>(v * kLevels + 0.5f)]);
+    }
+    art.push_back('\n');
+  }
+  return art;
+}
+
+}  // namespace dnnv

@@ -1,0 +1,26 @@
+// PGM/PPM image writers and ASCII rendering for Fig-4-style sample dumps.
+#ifndef DNNV_UTIL_IMAGE_IO_H_
+#define DNNV_UTIL_IMAGE_IO_H_
+
+#include <string>
+#include <vector>
+
+namespace dnnv {
+
+/// Writes a greyscale image as binary PGM (P5). `pixels` is row-major with
+/// values in [0, 1]; values outside are clamped.
+void write_pgm(const std::string& path, const float* pixels, int height,
+               int width);
+
+/// Writes an RGB image as binary PPM (P6). `pixels` is planar CHW (3 planes of
+/// height*width floats in [0, 1]).
+void write_ppm_chw(const std::string& path, const float* pixels, int height,
+                   int width);
+
+/// Renders a greyscale image as an ASCII-art block (dark -> ' ', bright -> '@')
+/// for terminal inspection of generated samples.
+std::string ascii_art(const float* pixels, int height, int width);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_IMAGE_IO_H_

@@ -1,0 +1,26 @@
+#include "util/keystream.h"
+
+#include "util/rng.h"
+
+namespace dnnv {
+
+void keystream_xor(std::vector<std::uint8_t>& bytes, std::uint64_t key) {
+  Rng rng(key ^ 0xC0FFEE1234ABCDEFull);
+  std::size_t i = 0;
+  while (i + 8 <= bytes.size()) {
+    const std::uint64_t ks = rng.next_u64();
+    for (int b = 0; b < 8; ++b) {
+      bytes[i + static_cast<std::size_t>(b)] ^=
+          static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < bytes.size()) {
+    const std::uint64_t ks = rng.next_u64();
+    for (int b = 0; i < bytes.size(); ++i, ++b) {
+      bytes[i] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+  }
+}
+
+}  // namespace dnnv

@@ -1,0 +1,23 @@
+// XOR keystream obfuscation for the shared test package.
+//
+// The paper states that the released (X, Y) package is "encrypted, thus their
+// integrity can be ensured". Cryptography is outside the paper's scope; this
+// module provides a deterministic keyed keystream (xoshiro-based) + CRC so the
+// package format exercises the same encode/verify code path. It is
+// demonstration-grade obfuscation, NOT a secure cipher — a real deployment
+// would swap in AES-GCM behind the same interface.
+#ifndef DNNV_UTIL_KEYSTREAM_H_
+#define DNNV_UTIL_KEYSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dnnv {
+
+/// XORs `bytes` in place with a keystream derived from `key`. Involutive:
+/// applying twice with the same key restores the input.
+void keystream_xor(std::vector<std::uint8_t>& bytes, std::uint64_t key);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_KEYSTREAM_H_

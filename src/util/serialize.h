@@ -1,0 +1,68 @@
+// Little-endian binary (de)serialisation for models and test-suite packages.
+#ifndef DNNV_UTIL_SERIALIZE_H_
+#define DNNV_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnv {
+
+/// Append-only byte buffer with typed writers.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);          // u64 length + bytes
+  void write_f32_array(const float* data, std::size_t n);
+  void write_u64_array(const std::uint64_t* data, std::size_t n);
+  void write_bytes(const void* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer; throws dnnv::Error on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<std::uint8_t> bytes);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_array(std::size_t n);
+  std::vector<std::uint64_t> read_u64_array(std::size_t n);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes a whole byte buffer to `path` (creating parent dirs); throws on failure.
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Reads a whole file; throws on failure.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// True when `path` exists and is a regular file.
+bool file_exists(const std::string& path);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_SERIALIZE_H_

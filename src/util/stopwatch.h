@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for experiment timing reports.
+#ifndef DNNV_UTIL_STOPWATCH_H_
+#define DNNV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dnnv {
+
+/// Starts at construction; elapsed_* report time since construction or the
+/// last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_STOPWATCH_H_

@@ -1,0 +1,43 @@
+// Console table / CSV formatting for experiment output.
+//
+// Bench binaries print the same rows the paper's tables and figures report;
+// TablePrinter keeps that output aligned and optionally mirrors it to CSV.
+#ifndef DNNV_UTIL_TABLE_H_
+#define DNNV_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dnnv {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a fraction as a percentage with one decimal, e.g. 0.923 -> "92.3%".
+std::string format_percent(double fraction);
+
+/// Formats a double with `decimals` fractional digits.
+std::string format_double(double value, int decimals);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_TABLE_H_

@@ -1,0 +1,62 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used to parallelise embarrassingly parallel experiment work (per-sample
+// coverage masks, attack trials). Determinism rule: parallel_for partitions
+// work by index, and all per-index randomness is derived from (seed, index),
+// so results are independent of thread count and scheduling.
+#ifndef DNNV_UTIL_THREAD_POOL_H_
+#define DNNV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dnnv {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; exceptions thrown
+/// by tasks are captured and rethrown from wait_all()/parallel_for().
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// captured task exception (if any).
+  void wait_all();
+
+  /// Runs body(i) for i in [0, count) across the pool and waits.
+  /// body must be safe to invoke concurrently for distinct i.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (created on first use, hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_THREAD_POOL_H_

@@ -1,0 +1,57 @@
+// The released validation artifact: functional tests + golden outputs.
+#ifndef DNNV_VALIDATE_TEST_SUITE_H_
+#define DNNV_VALIDATE_TEST_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "testgen/functional_test.h"
+
+namespace dnnv::validate {
+
+/// The (X, Y) package of paper Fig 1: test inputs and the labels the intact
+/// IP must produce. Ordering matters — tests are stored in generation order,
+/// so any prefix is itself a valid (smaller) suite; Tables II/III evaluate
+/// prefixes of one 50-test suite.
+class TestSuite {
+ public:
+  TestSuite() = default;
+
+  /// Builds a suite by running the vendor's model on each test input.
+  static TestSuite create(nn::Sequential& vendor_model,
+                          const std::vector<testgen::FunctionalTest>& tests);
+
+  /// As above from raw input tensors.
+  static TestSuite create(nn::Sequential& vendor_model,
+                          const std::vector<Tensor>& inputs);
+
+  std::size_t size() const { return inputs_.size(); }
+  bool empty() const { return inputs_.empty(); }
+
+  const std::vector<Tensor>& inputs() const { return inputs_; }
+  const std::vector<int>& golden_labels() const { return golden_labels_; }
+
+  /// First `count` tests as a new suite (prefix property).
+  TestSuite prefix(std::size_t count) const;
+
+  // ---- Release packaging ----
+  // The byte stream is obfuscated with a keyed keystream and protected by a
+  // CRC-32 so accidental/in-transit corruption of the package itself is
+  // detected before validation (paper: "X and Y are encrypted").
+
+  /// Serialises, obfuscates with `key`, appends CRC and writes to `path`.
+  void save_package(const std::string& path, std::uint64_t key) const;
+
+  /// Loads, checks CRC, de-obfuscates and parses; throws dnnv::Error on
+  /// corruption or wrong key.
+  static TestSuite load_package(const std::string& path, std::uint64_t key);
+
+ private:
+  std::vector<Tensor> inputs_;
+  std::vector<int> golden_labels_;
+};
+
+}  // namespace dnnv::validate
+
+#endif  // DNNV_VALIDATE_TEST_SUITE_H_

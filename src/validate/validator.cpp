@@ -1,0 +1,36 @@
+#include "validate/validator.h"
+
+#include "util/error.h"
+
+namespace dnnv::validate {
+
+Verdict validate_ip(ip::BlackBoxIp& ip, const TestSuite& suite,
+                    bool early_exit) {
+  DNNV_CHECK(!suite.empty(), "cannot validate with an empty suite");
+  Verdict verdict;
+  if (early_exit) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      ++verdict.tests_run;
+      if (ip.predict(suite.inputs()[i]) != suite.golden_labels()[i]) {
+        verdict.first_failure = static_cast<int>(i);
+        verdict.num_failures = 1;
+        verdict.passed = false;
+        return verdict;
+      }
+    }
+    verdict.passed = true;
+    return verdict;
+  }
+  const auto labels = ip.predict_all(suite.inputs());
+  verdict.tests_run = static_cast<int>(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (labels[i] != suite.golden_labels()[i]) {
+      if (verdict.first_failure < 0) verdict.first_failure = static_cast<int>(i);
+      ++verdict.num_failures;
+    }
+  }
+  verdict.passed = verdict.num_failures == 0;
+  return verdict;
+}
+
+}  // namespace dnnv::validate

@@ -1,0 +1,26 @@
+// User-side validation: replay the suite against a black-box IP.
+#ifndef DNNV_VALIDATE_VALIDATOR_H_
+#define DNNV_VALIDATE_VALIDATOR_H_
+
+#include "ip/black_box_ip.h"
+#include "validate/test_suite.h"
+
+namespace dnnv::validate {
+
+/// Outcome of replaying a suite (paper Fig 1's "Are Y and Y' identical?").
+struct Verdict {
+  bool passed = false;
+  int first_failure = -1;  ///< index of the first mismatching test, -1 if none
+  int num_failures = 0;
+  int tests_run = 0;
+};
+
+/// Runs every test through the IP and compares labels against the golden
+/// outputs. With `early_exit` the replay stops at the first mismatch
+/// (cheapest tamper detection); otherwise all failures are counted.
+Verdict validate_ip(ip::BlackBoxIp& ip, const TestSuite& suite,
+                    bool early_exit = false);
+
+}  // namespace dnnv::validate
+
+#endif  // DNNV_VALIDATE_VALIDATOR_H_

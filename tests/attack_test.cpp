@@ -1,0 +1,204 @@
+// Attack tests: perturbation algebra, SBA/GDA compromise the victim, random
+// perturbations are sparse and scaled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/gda.h"
+#include "attack/perturbation.h"
+#include "attack/random_perturbation.h"
+#include "attack/sba.h"
+#include "nn/builder.h"
+#include "nn/trainer.h"
+#include "util/error.h"
+
+namespace dnnv::attack {
+namespace {
+
+using nn::ActivationKind;
+using nn::Sequential;
+
+// A lightly-trained model so attacks face realistic decision boundaries.
+Sequential trained_net(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Sequential model = nn::build_mlp(8, {12, 10}, 4, ActivationKind::kReLU, rng);
+  Rng data_rng(seed + 1);
+  std::vector<Tensor> inputs;
+  std::vector<int> labels;
+  for (int i = 0; i < 160; ++i) {
+    const int label = i % 4;
+    Tensor x(Shape{8});
+    for (std::int64_t j = 0; j < 8; ++j) {
+      x[j] = static_cast<float>(data_rng.normal(j == label ? 1.5 : 0.0, 0.4));
+    }
+    inputs.push_back(std::move(x));
+    labels.push_back(label);
+  }
+  nn::TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  config.learning_rate = 5e-3f;
+  nn::fit(model, inputs, labels, config);
+  return model;
+}
+
+Tensor victim_for(Sequential& model, int label, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Tensor x(Shape{8});
+    for (std::int64_t j = 0; j < 8; ++j) {
+      x[j] = static_cast<float>(rng.normal(j == label ? 1.5 : 0.0, 0.4));
+    }
+    if (model.predict_label(x) == label) return x;
+  }
+  DNNV_THROW("could not find a correctly-classified victim");
+}
+
+// ---------- Perturbation ----------
+
+TEST(PerturbationTest, ApplyRevertRestoresExactly) {
+  Sequential model = trained_net();
+  const auto snapshot = model.snapshot_params();
+  Perturbation p;
+  p.deltas = {{0, 0.5f}, {7, -1.25f}, {20, 3.0f}};
+  p.apply(model);
+  EXPECT_EQ(model.get_param(0), snapshot[0] + 0.5f);
+  p.revert(model);
+  EXPECT_EQ(model.snapshot_params(), snapshot);
+}
+
+TEST(PerturbationTest, MaxMagnitude) {
+  Perturbation p;
+  EXPECT_EQ(p.max_magnitude(), 0.0f);
+  EXPECT_TRUE(p.empty());
+  p.deltas = {{0, 0.5f}, {1, -2.0f}};
+  EXPECT_FLOAT_EQ(p.max_magnitude(), 2.0f);
+  EXPECT_FALSE(p.empty());
+}
+
+// ---------- SBA ----------
+
+TEST(SbaTest, FlipsVictimWithSingleBias) {
+  Sequential model = trained_net(11);
+  Tensor victim = victim_for(model, 1, 12);
+  const int clean = model.predict_label(victim);
+
+  const auto snapshot = model.snapshot_params();
+  SingleBiasAttack attack;
+  Rng rng(13);
+  Perturbation p = attack.craft(model, victim, rng);
+  // craft() must leave the model untouched.
+  EXPECT_EQ(model.snapshot_params(), snapshot);
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.deltas.size(), 1u);  // SINGLE bias attack
+  EXPECT_TRUE(model.param_is_bias(p.deltas[0].index));
+
+  p.apply(model);
+  EXPECT_NE(model.predict_label(victim), clean);
+  p.revert(model);
+  EXPECT_EQ(model.predict_label(victim), clean);
+}
+
+TEST(SbaTest, DifferentRngsHitDifferentBiases) {
+  Sequential model = trained_net(21);
+  Tensor victim = victim_for(model, 2, 22);
+  SingleBiasAttack attack;
+  std::set<std::int64_t> indices;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Perturbation p = attack.craft(model, victim, rng);
+    if (!p.empty()) indices.insert(p.deltas[0].index);
+  }
+  EXPECT_GE(indices.size(), 2u);  // randomised target selection works
+}
+
+// ---------- GDA ----------
+
+TEST(GdaTest, FlipsVictimWithSparseSmallDeltas) {
+  Sequential model = trained_net(31);
+  Tensor victim = victim_for(model, 0, 32);
+  const int clean = model.predict_label(victim);
+
+  const auto snapshot = model.snapshot_params();
+  GradientDescentAttack::Options options;
+  options.max_iterations = 60;
+  options.learning_rate = 0.08f;
+  GradientDescentAttack attack(options);
+  Rng rng(33);
+  Perturbation p = attack.craft(model, victim, rng);
+  EXPECT_EQ(model.snapshot_params(), snapshot);
+  ASSERT_FALSE(p.empty());
+
+  // Stealthiness: sparse relative to the model and bounded magnitude.
+  EXPECT_LT(static_cast<std::int64_t>(p.deltas.size()), model.param_count() / 2);
+  EXPECT_LE(p.max_magnitude(), options.max_delta + 1e-6f);
+
+  p.apply(model);
+  EXPECT_NE(model.predict_label(victim), clean);
+  p.revert(model);
+  EXPECT_EQ(model.predict_label(victim), clean);
+}
+
+TEST(GdaTest, PerturbationSmallerThanSba) {
+  // The ICCAD paper's point: GDA is stealthier (smaller max delta) than SBA.
+  Sequential model = trained_net(41);
+  Tensor victim = victim_for(model, 3, 42);
+  Rng rng_s(43);
+  Rng rng_g(43);
+  const Perturbation sba = SingleBiasAttack().craft(model, victim, rng_s);
+  GradientDescentAttack::Options options;
+  options.max_iterations = 60;
+  const Perturbation gda = GradientDescentAttack(options).craft(model, victim, rng_g);
+  ASSERT_FALSE(sba.empty());
+  ASSERT_FALSE(gda.empty());
+  EXPECT_LT(gda.max_magnitude(), sba.max_magnitude());
+}
+
+// ---------- RandomPerturbation ----------
+
+TEST(RandomPerturbationTest, SparseScaledAndDeterministic) {
+  Sequential model = trained_net(51);
+  RandomPerturbation::Options options;
+  options.num_params = 6;
+  options.relative_sigma = 2.0f;
+  RandomPerturbation attack(options);
+
+  Rng rng1(7);
+  const Perturbation a = attack.craft(model, Tensor(Shape{8}), rng1);
+  EXPECT_EQ(a.deltas.size(), 6u);
+  std::set<std::int64_t> indices;
+  for (const auto& d : a.deltas) indices.insert(d.index);
+  EXPECT_EQ(indices.size(), 6u);  // distinct parameters
+
+  Rng rng2(7);
+  const Perturbation b = attack.craft(model, Tensor(Shape{8}), rng2);
+  ASSERT_EQ(b.deltas.size(), a.deltas.size());
+  for (std::size_t i = 0; i < a.deltas.size(); ++i) {
+    EXPECT_EQ(a.deltas[i].index, b.deltas[i].index);
+    EXPECT_EQ(a.deltas[i].delta, b.deltas[i].delta);
+  }
+}
+
+TEST(RandomPerturbationTest, MagnitudeTracksParamScale) {
+  Sequential model = trained_net(61);
+  // Double all params -> sigma doubles -> typical delta doubles.
+  RandomPerturbation::Options options;
+  options.num_params = 64;
+  options.relative_sigma = 1.0f;
+  RandomPerturbation attack(options);
+  Rng rng1(9);
+  const Perturbation before = attack.craft(model, Tensor(Shape{8}), rng1);
+  for (const auto& view : model.param_views()) {
+    for (std::int64_t i = 0; i < view.size; ++i) view.data[i] *= 2.0f;
+  }
+  Rng rng2(9);
+  const Perturbation after = attack.craft(model, Tensor(Shape{8}), rng2);
+  double sum_before = 0.0;
+  double sum_after = 0.0;
+  for (const auto& d : before.deltas) sum_before += std::fabs(d.delta);
+  for (const auto& d : after.deltas) sum_after += std::fabs(d.delta);
+  EXPECT_NEAR(sum_after / sum_before, 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace dnnv::attack

@@ -1,0 +1,299 @@
+// Dataset tests: determinism, value ranges, labels, shapes, distinctness,
+// and learnability of the synthetic data.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/digits.h"
+#include "data/noise.h"
+#include "data/ood.h"
+#include "data/render.h"
+#include "data/shapes.h"
+#include "util/error.h"
+
+namespace dnnv::data {
+namespace {
+
+template <typename DatasetT>
+void expect_deterministic(const DatasetT& a, const DatasetT& b) {
+  for (const std::int64_t idx : {std::int64_t{0}, std::int64_t{5}}) {
+    const Sample sa = a.get(idx);
+    const Sample sb = b.get(idx);
+    EXPECT_EQ(sa.label, sb.label);
+    ASSERT_EQ(sa.image.shape(), sb.image.shape());
+    for (std::int64_t i = 0; i < sa.image.numel(); ++i) {
+      ASSERT_EQ(sa.image[i], sb.image[i]) << "pixel " << i << " index " << idx;
+    }
+  }
+}
+
+template <typename DatasetT>
+void expect_in_unit_range(const DatasetT& dataset, int samples) {
+  for (int idx = 0; idx < samples; ++idx) {
+    const Sample s = dataset.get(idx);
+    for (std::int64_t i = 0; i < s.image.numel(); ++i) {
+      ASSERT_GE(s.image[i], 0.0f);
+      ASSERT_LE(s.image[i], 1.0f);
+    }
+  }
+}
+
+// ---------- Digits ----------
+
+TEST(DigitsTest, ShapeAndClasses) {
+  DigitsDataset dataset(1, 100);
+  EXPECT_EQ(dataset.size(), 100);
+  EXPECT_EQ(dataset.item_shape(), Shape({1, 28, 28}));
+  EXPECT_EQ(dataset.num_classes(), 10);
+}
+
+TEST(DigitsTest, DeterministicPerIndex) {
+  expect_deterministic(DigitsDataset(7, 10), DigitsDataset(7, 10));
+}
+
+TEST(DigitsTest, DifferentSeedsDiffer) {
+  const Sample a = DigitsDataset(1, 10).get(0);
+  const Sample b = DigitsDataset(2, 10).get(0);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < a.image.numel(); ++i) {
+    diff += std::abs(a.image[i] - b.image[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(DigitsTest, PixelsInRangeAndLabelsValid) {
+  DigitsDataset dataset(3, 30);
+  expect_in_unit_range(dataset, 30);
+  std::set<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    const int label = dataset.get(i).label;
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+    labels.insert(label);
+  }
+  EXPECT_GE(labels.size(), 6u);  // 30 draws should hit most classes
+}
+
+TEST(DigitsTest, DigitsHaveInk) {
+  DigitsDataset dataset(3, 20);
+  for (int i = 0; i < 20; ++i) {
+    const Sample s = dataset.get(i);
+    double ink = 0.0;
+    for (std::int64_t p = 0; p < s.image.numel(); ++p) ink += s.image[p];
+    // A stroke-rendered digit must have meaningfully bright pixels.
+    EXPECT_GT(ink, 10.0) << "sample " << i << " looks blank";
+  }
+}
+
+TEST(DigitsTest, OutOfRangeThrows) {
+  DigitsDataset dataset(1, 5);
+  EXPECT_THROW(dataset.get(5), Error);
+  EXPECT_THROW(dataset.get(-1), Error);
+}
+
+TEST(DigitsTest, CustomImageSize) {
+  DigitsDataset dataset(1, 5, 16);
+  EXPECT_EQ(dataset.get(0).image.shape(), Shape({1, 16, 16}));
+}
+
+// ---------- Shapes ----------
+
+TEST(ShapesTest, ShapeAndClasses) {
+  ShapesDataset dataset(1, 50);
+  EXPECT_EQ(dataset.item_shape(), Shape({3, 32, 32}));
+  EXPECT_EQ(dataset.num_classes(), 10);
+}
+
+TEST(ShapesTest, DeterministicPerIndex) {
+  expect_deterministic(ShapesDataset(9, 10), ShapesDataset(9, 10));
+}
+
+TEST(ShapesTest, PixelsInRange) {
+  expect_in_unit_range(ShapesDataset(4, 20), 20);
+}
+
+TEST(ShapesTest, AllClassesAppear) {
+  ShapesDataset dataset(5, 300);
+  std::set<int> labels;
+  for (int i = 0; i < 300; ++i) labels.insert(dataset.get(i).label);
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(ShapesTest, ClassNames) {
+  EXPECT_STREQ(ShapesDataset::class_name(0), "disc");
+  EXPECT_STREQ(ShapesDataset::class_name(9), "d-stripe");
+  EXPECT_THROW(ShapesDataset::class_name(10), Error);
+}
+
+TEST(ShapesTest, ImagesAreColourful) {
+  // Channels must differ (not greyscale) for most samples.
+  ShapesDataset dataset(6, 10);
+  int colourful = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Sample s = dataset.get(i);
+    const std::int64_t plane = 32 * 32;
+    double diff = 0.0;
+    for (std::int64_t p = 0; p < plane; ++p) {
+      diff += std::abs(s.image[p] - s.image[plane + p]);
+    }
+    if (diff > 10.0) ++colourful;
+  }
+  EXPECT_GE(colourful, 8);
+}
+
+// ---------- OOD / Noise ----------
+
+TEST(OodTest, MatchesRequestedGeometry) {
+  OodDataset grey(1, 10, 1, 28);
+  EXPECT_EQ(grey.get(0).image.shape(), Shape({1, 28, 28}));
+  OodDataset colour(1, 10, 3, 32);
+  EXPECT_EQ(colour.get(3).image.shape(), Shape({3, 32, 32}));
+  EXPECT_EQ(colour.num_classes(), 0);
+  EXPECT_EQ(colour.get(0).label, -1);
+}
+
+TEST(OodTest, DeterministicAndInRange) {
+  expect_deterministic(OodDataset(2, 10, 3, 32), OodDataset(2, 10, 3, 32));
+  expect_in_unit_range(OodDataset(2, 10, 3, 32), 10);
+}
+
+TEST(OodTest, HasSpatialStructure) {
+  // Neighbouring pixels must correlate (unlike iid noise).
+  const Sample s = OodDataset(3, 5, 1, 32).get(0);
+  double adjacent_diff = 0.0;
+  double random_diff = 0.0;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const int y = rng.uniform_int(0, 30);
+    const int x = rng.uniform_int(0, 30);
+    adjacent_diff += std::abs(s.image[y * 32 + x] - s.image[y * 32 + x + 1]);
+    const int y2 = rng.uniform_int(0, 31);
+    const int x2 = rng.uniform_int(0, 31);
+    random_diff += std::abs(s.image[y * 32 + x] - s.image[y2 * 32 + x2]);
+  }
+  EXPECT_LT(adjacent_diff, random_diff * 0.7);
+}
+
+TEST(NoiseTest, MomentsMatchConfig) {
+  NoiseDataset dataset(1, 5, 1, 32, 0.5f, 0.1f);
+  const Sample s = dataset.get(0);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < s.image.numel(); ++i) total += s.image[i];
+  EXPECT_NEAR(total / s.image.numel(), 0.5, 0.02);
+}
+
+TEST(NoiseTest, NoSpatialStructure) {
+  const Sample s = NoiseDataset(2, 5, 1, 32).get(0);
+  // Adjacent and random pixel differences should be comparable for iid noise.
+  double adjacent_diff = 0.0;
+  double random_diff = 0.0;
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const int y = rng.uniform_int(0, 30);
+    const int x = rng.uniform_int(0, 30);
+    adjacent_diff += std::abs(s.image[y * 32 + x] - s.image[y * 32 + x + 1]);
+    const int y2 = rng.uniform_int(0, 31);
+    const int x2 = rng.uniform_int(0, 31);
+    random_diff += std::abs(s.image[y * 32 + x] - s.image[y2 * 32 + x2]);
+  }
+  EXPECT_GT(adjacent_diff, random_diff * 0.8);
+}
+
+TEST(NoiseTest, RejectsBadConfig) {
+  EXPECT_THROW(NoiseDataset(1, 5, 2, 32), Error);
+  EXPECT_THROW(NoiseDataset(1, 5, 1, 0), Error);
+}
+
+// ---------- materialize ----------
+
+TEST(MaterializeTest, ParallelMatchesSequential) {
+  DigitsDataset dataset(11, 40);
+  const auto bulk = materialize(dataset, 40);
+  ASSERT_EQ(bulk.images.size(), 40u);
+  for (int i = 0; i < 40; i += 7) {
+    const Sample s = dataset.get(i);
+    EXPECT_EQ(bulk.labels[static_cast<std::size_t>(i)], s.label);
+    for (std::int64_t p = 0; p < s.image.numel(); p += 97) {
+      EXPECT_EQ(bulk.images[static_cast<std::size_t>(i)][p], s.image[p]);
+    }
+  }
+}
+
+TEST(MaterializeTest, OffsetWindow) {
+  DigitsDataset dataset(11, 40);
+  const auto window = materialize(dataset, 5, 30);
+  ASSERT_EQ(window.images.size(), 5u);
+  EXPECT_EQ(window.labels[0], dataset.get(30).label);
+  EXPECT_THROW(materialize(dataset, 20, 30), Error);
+}
+
+// ---------- render helpers ----------
+
+TEST(RenderTest, SegmentDistance) {
+  EXPECT_FLOAT_EQ(segment_distance({0, 1}, {0, 0}, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(segment_distance({2, 0}, {0, 0}, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(segment_distance({0.5f, 0}, {0, 0}, {1, 0}), 0.0f);
+}
+
+TEST(RenderTest, TransformIdentity) {
+  const Polyline line{{0.2f, 0.3f}, {0.8f, 0.9f}};
+  const Polyline out = transform(line, Jitter{});
+  EXPECT_NEAR(out[0].x, 0.2f, 1e-6f);
+  EXPECT_NEAR(out[1].y, 0.9f, 1e-6f);
+}
+
+TEST(RenderTest, TransformTranslates) {
+  const Polyline line{{0.5f, 0.5f}};
+  Jitter jitter;
+  jitter.dx = 0.1f;
+  jitter.dy = -0.2f;
+  const Polyline out = transform(line, jitter);
+  EXPECT_NEAR(out[0].x, 0.6f, 1e-6f);
+  EXPECT_NEAR(out[0].y, 0.3f, 1e-6f);
+}
+
+TEST(RenderTest, DrawStrokesMarksInk) {
+  std::vector<float> image(16 * 16, 0.0f);
+  draw_strokes(image.data(), 16, 16, {{{0.1f, 0.5f}, {0.9f, 0.5f}}}, 0.05f);
+  double ink = 0.0;
+  for (const float v : image) ink += v;
+  EXPECT_GT(ink, 3.0);
+  // Far corner stays empty.
+  EXPECT_EQ(image[0], 0.0f);
+}
+
+TEST(RenderTest, HsvPrimaries) {
+  float r, g, b;
+  hsv_to_rgb(0.0f, 1.0f, 1.0f, r, g, b);
+  EXPECT_NEAR(r, 1.0f, 1e-5f);
+  EXPECT_NEAR(g, 0.0f, 1e-5f);
+  hsv_to_rgb(1.0f / 3.0f, 1.0f, 1.0f, r, g, b);
+  EXPECT_NEAR(g, 1.0f, 1e-5f);
+  // Zero saturation = grey.
+  hsv_to_rgb(0.7f, 0.0f, 0.42f, r, g, b);
+  EXPECT_NEAR(r, 0.42f, 1e-5f);
+  EXPECT_NEAR(g, 0.42f, 1e-5f);
+  EXPECT_NEAR(b, 0.42f, 1e-5f);
+}
+
+TEST(RenderTest, ValueNoiseInRangeAndDeterministic) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto a = value_noise(16, 16, 3, rng1);
+  const auto b = value_noise(16, 16, 3, rng2);
+  EXPECT_EQ(a, b);
+  for (const float v : a) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(RenderTest, ArcSamplesEndpoints) {
+  const Polyline circle = arc({0.5f, 0.5f}, 0.2f, 0.2f, 0.0f, 6.2831853f, 16);
+  EXPECT_EQ(circle.size(), 17u);
+  EXPECT_NEAR(circle.front().x, 0.7f, 1e-4f);
+  EXPECT_NEAR(circle.front().x, circle.back().x, 1e-4f);
+}
+
+}  // namespace
+}  // namespace dnnv::data

@@ -1,0 +1,328 @@
+// Layer-level tests: shapes, semantics, and finite-difference gradient
+// verification across every layer type and activation kind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation_layer.h"
+#include "nn/builder.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/maxpool2d.h"
+#include "nn/normalize.h"
+#include "nn/sequential.h"
+#include "tensor/batch.h"
+#include "util/error.h"
+
+namespace dnnv::nn {
+namespace {
+
+// ---------- Activation scalar functions ----------
+
+TEST(ActivationTest, ReluSemantics) {
+  EXPECT_EQ(activate(ActivationKind::kReLU, -1.0f), 0.0f);
+  EXPECT_EQ(activate(ActivationKind::kReLU, 2.5f), 2.5f);
+  EXPECT_EQ(activate_grad(ActivationKind::kReLU, -1.0f), 0.0f);
+  EXPECT_EQ(activate_grad(ActivationKind::kReLU, 1.0f), 1.0f);
+}
+
+TEST(ActivationTest, TanhSemantics) {
+  EXPECT_NEAR(activate(ActivationKind::kTanh, 0.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(activate_grad(ActivationKind::kTanh, 0.0f), 1.0f, 1e-6);
+  EXPECT_LT(activate_grad(ActivationKind::kTanh, 5.0f), 1e-3f);
+}
+
+TEST(ActivationTest, SigmoidSemantics) {
+  EXPECT_NEAR(activate(ActivationKind::kSigmoid, 0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(activate_grad(ActivationKind::kSigmoid, 0.0f), 0.25f, 1e-6);
+}
+
+TEST(ActivationTest, NamesRoundTrip) {
+  for (const auto kind :
+       {ActivationKind::kReLU, ActivationKind::kTanh, ActivationKind::kSigmoid,
+        ActivationKind::kLeakyReLU}) {
+    EXPECT_EQ(activation_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(activation_from_string("swish"), Error);
+}
+
+TEST(ActivationTest, ZeroRegionFlag) {
+  EXPECT_TRUE(has_exact_zero_region(ActivationKind::kReLU));
+  EXPECT_FALSE(has_exact_zero_region(ActivationKind::kTanh));
+}
+
+// ---------- Dense ----------
+
+TEST(DenseTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense layer(2, 3, rng);
+  layer.weights() = Tensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  layer.bias() = Tensor(Shape{3}, {0.5f, -0.5f, 0.0f});
+  const Tensor x(Shape{1, 2}, {1.0f, -1.0f});
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 1 - 2 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3 - 4 - 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 5 - 6);
+}
+
+TEST(DenseTest, OutputShapeValidation) {
+  Rng rng(1);
+  Dense layer(4, 2, rng);
+  EXPECT_EQ(layer.output_shape(Shape{7, 4}), Shape({7, 2}));
+  EXPECT_THROW(layer.output_shape(Shape{7, 3}), Error);
+  EXPECT_THROW(layer.output_shape(Shape{4}), Error);
+}
+
+TEST(DenseTest, ParamViewsLayout) {
+  Rng rng(1);
+  Dense layer(3, 2, rng);
+  layer.set_name("dense0");
+  const auto views = layer.param_views();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].name, "dense0.weight");
+  EXPECT_EQ(views[0].size, 6);
+  EXPECT_FALSE(views[0].is_bias);
+  EXPECT_EQ(views[1].name, "dense0.bias");
+  EXPECT_EQ(views[1].size, 2);
+  EXPECT_TRUE(views[1].is_bias);
+  EXPECT_EQ(layer.param_count(), 8);
+}
+
+TEST(DenseTest, SaveLoadRoundTrip) {
+  Rng rng(2);
+  Dense layer(3, 2, rng);
+  ByteWriter writer;
+  layer.save(writer);
+  ByteReader reader(writer.take());
+  EXPECT_EQ(reader.read_string(), "dense");
+  auto loaded = Dense::load(reader);
+  EXPECT_EQ(loaded->in_features(), 3);
+  EXPECT_EQ(loaded->out_features(), 2);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(loaded->weights()[i], layer.weights()[i]);
+  }
+}
+
+// ---------- Conv2d ----------
+
+TEST(Conv2dTest, KnownConvolution) {
+  Rng rng(1);
+  Conv2d::Config config;
+  config.in_channels = 1;
+  config.out_channels = 1;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 0;
+  Conv2d layer(config, rng);
+  layer.weights().fill(1.0f);  // 3x3 box filter
+  layer.bias().fill(0.0f);
+  Tensor x(Shape{1, 1, 3, 3});
+  x.fill(2.0f);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 18.0f);
+}
+
+TEST(Conv2dTest, PaddedShapePreserved) {
+  Rng rng(1);
+  Conv2d::Config config;
+  config.in_channels = 2;
+  config.out_channels = 4;
+  config.kernel = 3;
+  config.pad = 1;
+  Conv2d layer(config, rng);
+  EXPECT_EQ(layer.output_shape(Shape{3, 2, 8, 8}), Shape({3, 4, 8, 8}));
+  EXPECT_THROW(layer.output_shape(Shape{3, 1, 8, 8}), Error);
+}
+
+TEST(Conv2dTest, BiasAddsUniformOffset) {
+  Rng rng(1);
+  Conv2d::Config config;
+  config.in_channels = 1;
+  config.out_channels = 1;
+  config.kernel = 1;
+  Conv2d layer(config, rng);
+  layer.weights().fill(0.0f);
+  layer.bias().fill(3.5f);
+  Tensor x(Shape{1, 1, 2, 2});
+  const Tensor y = layer.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 3.5f);
+}
+
+// ---------- MaxPool ----------
+
+TEST(MaxPoolTest, SelectsWindowMaximum) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, {1, 5, 3, 2});
+  pool.forward(x);
+  Tensor grad_out(Shape{1, 1, 1, 1}, {7.0f});
+  const Tensor grad_in = pool.backward(grad_out);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 7.0f);  // position of the max
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+}
+
+TEST(MaxPoolTest, HalvesSpatialDims) {
+  MaxPool2d pool(2, 2);
+  EXPECT_EQ(pool.output_shape(Shape{1, 3, 8, 6}), Shape({1, 3, 4, 3}));
+}
+
+// ---------- Flatten / Normalize ----------
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor x(Shape{2, 3, 4, 5});
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  const Tensor back = flatten.backward(Tensor(Shape{2, 60}));
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(NormalizeTest, CentresAndScales) {
+  Normalize norm(0.5f, 0.5f);
+  Tensor x(Shape{1, 4}, {0.0f, 0.5f, 1.0f, 0.75f});
+  const Tensor y = norm.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.5f);
+  const Tensor g = norm.backward(Tensor(Shape{1, 4}, {1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(g[0], 2.0f);  // 1/scale
+}
+
+TEST(NormalizeTest, ZeroScaleRejected) {
+  EXPECT_THROW(Normalize(0.5f, 0.0f), Error);
+}
+
+// ---------- Gradient checks (property sweeps) ----------
+
+struct GradCase {
+  std::string name;
+  ActivationKind activation;
+};
+
+class ModelGradCheck : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(ModelGradCheck, MlpParamAndInputGradients) {
+  Rng rng(77);
+  Sequential model = build_mlp(12, {10, 8}, 4, GetParam().activation, rng);
+  Rng data_rng(5);
+  const Tensor x = Tensor::rand_uniform(Shape{12}, data_rng, -1.0f, 1.0f);
+
+  Rng check_rng(9);
+  const auto params = check_param_gradients(model, x, 2, check_rng, 80, 1e-3);
+  EXPECT_LT(params.bad_fraction(2e-2), 0.06) << "param gradients diverge";
+  const auto inputs = check_input_gradients(model, x, 2, check_rng, 12, 1e-3);
+  EXPECT_LT(inputs.bad_fraction(2e-2), 0.10) << "input gradients diverge";
+}
+
+TEST_P(ModelGradCheck, ConvNetParamAndInputGradients) {
+  Rng rng(78);
+  ConvNetSpec spec;
+  spec.in_channels = 2;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.conv_channels = {3, 3};
+  spec.dense_units = {10};
+  spec.num_classes = 3;
+  spec.activation = GetParam().activation;
+  Sequential model = build_convnet(spec, rng);
+
+  Rng data_rng(6);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 8, 8}, data_rng, 0.0f, 1.0f);
+  Rng check_rng(10);
+  const auto params = check_param_gradients(model, x, 1, check_rng, 80, 1e-3);
+  EXPECT_LT(params.bad_fraction(3e-2), 0.06) << "param gradients diverge";
+  const auto inputs = check_input_gradients(model, x, 1, check_rng, 60, 1e-3);
+  EXPECT_LT(inputs.bad_fraction(3e-2), 0.08) << "input gradients diverge";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Activations, ModelGradCheck,
+    ::testing::Values(GradCase{"relu", ActivationKind::kReLU},
+                      GradCase{"tanh", ActivationKind::kTanh},
+                      GradCase{"sigmoid", ActivationKind::kSigmoid},
+                      GradCase{"leaky", ActivationKind::kLeakyReLU}),
+    [](const auto& info) { return info.param.name; });
+
+// Sweep conv geometries with a fixed activation.
+struct ConvGeom {
+  std::string name;
+  std::int64_t kernel;
+  std::int64_t stride;
+  std::int64_t pad;
+};
+
+class ConvGeometryGradCheck : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvGeometryGradCheck, GradientsMatchFiniteDifference) {
+  const auto geom = GetParam();
+  Rng rng(80);
+  Sequential model;
+  Conv2d::Config config;
+  config.in_channels = 2;
+  config.out_channels = 3;
+  config.kernel = geom.kernel;
+  config.stride = geom.stride;
+  config.pad = geom.pad;
+  model.add(std::make_unique<Conv2d>(config, rng));
+  model.add(std::make_unique<ActivationLayer>(ActivationKind::kTanh));
+  model.add(std::make_unique<Flatten>());
+  const Shape out = model.output_shape(Shape{1, 2, 9, 9});
+  model.add(std::make_unique<Dense>(out[1], 3, rng));
+
+  Rng data_rng(4);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 9, 9}, data_rng, -1.0f, 1.0f);
+  Rng check_rng(12);
+  const auto result = check_param_gradients(model, x, 0, check_rng, 60, 1e-3);
+  EXPECT_LT(result.bad_fraction(3e-2), 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvGeometryGradCheck,
+                         ::testing::Values(ConvGeom{"k3s1p0", 3, 1, 0},
+                                           ConvGeom{"k3s1p1", 3, 1, 1},
+                                           ConvGeom{"k5s1p2", 5, 1, 2},
+                                           ConvGeom{"k3s2p1", 3, 2, 1},
+                                           ConvGeom{"k1s1p0", 1, 1, 0}),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------- Batched vs per-item consistency ----------
+
+TEST(BatchConsistencyTest, BatchedForwardEqualsPerItem) {
+  Rng rng(90);
+  ConvNetSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 10;
+  spec.in_width = 10;
+  spec.conv_channels = {4, 4};
+  spec.dense_units = {8};
+  spec.num_classes = 5;
+  Sequential model = build_convnet(spec, rng);
+
+  Rng data_rng(91);
+  std::vector<Tensor> items;
+  for (int i = 0; i < 4; ++i) {
+    items.push_back(Tensor::rand_uniform(Shape{1, 10, 10}, data_rng, 0.0f, 1.0f));
+  }
+  const Tensor batched = model.forward(stack_batch(items));
+  for (int i = 0; i < 4; ++i) {
+    const Tensor single = model.forward(stack_batch({items[static_cast<std::size_t>(i)]}));
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(batched[i * 5 + j], single[j], 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnnv::nn

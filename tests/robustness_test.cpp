@@ -1,0 +1,126 @@
+// Failure-injection / robustness tests: corrupted model streams and test
+// packages must be rejected with dnnv::Error — never crash, never silently
+// load garbage.
+#include <gtest/gtest.h>
+
+#include "nn/builder.h"
+#include "nn/sequential.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "validate/test_suite.h"
+
+namespace dnnv {
+namespace {
+
+nn::Sequential small_model(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return nn::build_mlp(4, {5}, 3, nn::ActivationKind::kReLU, rng);
+}
+
+std::vector<std::uint8_t> model_bytes() {
+  ByteWriter writer;
+  small_model().save(writer);
+  return writer.take();
+}
+
+// Loading a model whose stream is corrupted at any single byte must either
+// throw dnnv::Error or produce a structurally valid model — never crash.
+// (Float parameter bytes can legally change value; structural bytes must be
+// caught by magic/size/kind validation.)
+class ModelCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelCorruption, SingleByteCorruptionIsSafe) {
+  const auto clean = model_bytes();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 60; ++trial) {
+    auto bytes = clean;
+    const std::size_t offset = rng.uniform_u64(bytes.size());
+    bytes[offset] ^= static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    try {
+      ByteReader reader(std::move(bytes));
+      nn::Sequential model = nn::Sequential::load(reader);
+      // If it loaded, it must still be structurally sound.
+      EXPECT_GT(model.param_count(), 0);
+    } catch (const Error&) {
+      // Rejection is the expected path for structural corruption.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelCorruption, ::testing::Values(1, 2, 3));
+
+TEST(ModelCorruptionTest, TruncationAlwaysThrows) {
+  const auto clean = model_bytes();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, clean.size() / 2,
+                                 clean.size() - 1}) {
+    std::vector<std::uint8_t> bytes(clean.begin(),
+                                    clean.begin() + static_cast<std::ptrdiff_t>(keep));
+    ByteReader reader(std::move(bytes));
+    EXPECT_THROW(nn::Sequential::load(reader), Error) << "kept " << keep;
+  }
+}
+
+// Package corruption: flipping any ciphertext byte must be caught by the CRC.
+class PackageCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackageCorruption, AnyCiphertextFlipIsDetected) {
+  auto model = small_model(11);
+  std::vector<Tensor> inputs;
+  Rng rng(12);
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(Tensor::rand_uniform(Shape{4}, rng, -1.0f, 1.0f));
+  }
+  const auto suite = validate::TestSuite::create(model, inputs);
+  const std::string path =
+      "/tmp/dnnv_robustness_" + std::to_string(GetParam()) + ".pkg";
+  suite.save_package(path, 777);
+  const auto clean = read_file(path);
+
+  Rng corrupt_rng(static_cast<std::uint64_t>(GetParam()) * 97 + 5);
+  constexpr std::size_t kHeaderBytes = 20;  // magic+version+crc+size
+  for (int trial = 0; trial < 40; ++trial) {
+    auto bytes = clean;
+    const std::size_t offset =
+        kHeaderBytes + corrupt_rng.uniform_u64(bytes.size() - kHeaderBytes);
+    bytes[offset] ^= 0x01;
+    write_file(path, bytes);
+    EXPECT_THROW(validate::TestSuite::load_package(path, 777), Error)
+        << "flip at offset " << offset << " not detected";
+  }
+  write_file(path, clean);
+  EXPECT_NO_THROW(validate::TestSuite::load_package(path, 777));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackageCorruption, ::testing::Values(1, 2));
+
+TEST(PackageRobustnessTest, HeaderCorruptionRejected) {
+  auto model = small_model(13);
+  std::vector<Tensor> inputs{Tensor(Shape{4})};
+  const auto suite = validate::TestSuite::create(model, inputs);
+  const std::string path = "/tmp/dnnv_robustness_header.pkg";
+  suite.save_package(path, 1);
+  auto bytes = read_file(path);
+  bytes[0] ^= 0xFF;  // magic
+  write_file(path, bytes);
+  EXPECT_THROW(validate::TestSuite::load_package(path, 1), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ZooCacheRobustnessTest, CorruptCacheFallsBackToRetraining) {
+  // A mangled cache entry must not crash the zoo loader: load_cached fails
+  // closed and training regenerates the file.
+  // (Simulated directly at the serialisation layer: a truncated model stream
+  //  inside an otherwise valid-looking file.)
+  ByteWriter writer;
+  writer.write_u32(0x4F4F5A44);  // zoo magic
+  writer.write_u32(1);
+  ByteReader reader(writer.take());
+  EXPECT_EQ(reader.read_u32(), 0x4F4F5A44u);
+  EXPECT_EQ(reader.read_u32(), 1u);
+  EXPECT_THROW(reader.read_string(), Error);  // truncated -> throws, not UB
+}
+
+}  // namespace
+}  // namespace dnnv

@@ -1,0 +1,251 @@
+// Unit tests for the tensor library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/batch.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dnnv {
+namespace {
+
+// ---------- Shape ----------
+
+TEST(ShapeTest, NumelAndAccess) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_THROW(s[3], Error);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(ShapeTest, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), Error);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({1, 28, 28}).to_string(), "[1, 28, 28]");
+}
+
+// ---------- Tensor ----------
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t{Shape{3, 3}};
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), Error);
+}
+
+TEST(TensorTest, MultiDimAccess) {
+  Tensor t{Shape{2, 3}};
+  t.at({1, 2}) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0}), Error);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), Error);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_THROW(a += Tensor(Shape{4}), Error);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t(Shape{4}, {1, -5, 3, 1});
+  EXPECT_DOUBLE_EQ(sum(t), 0.0);
+  EXPECT_DOUBLE_EQ(mean(t), 0.0);
+  EXPECT_EQ(argmax(t), 2);
+  EXPECT_FLOAT_EQ(max_abs(t), 5.0f);
+}
+
+TEST(TensorTest, ArgmaxFirstOnTies) {
+  Tensor t(Shape{3}, {2, 2, 1});
+  EXPECT_EQ(argmax(t), 0);
+}
+
+TEST(TensorTest, Clamp) {
+  Tensor t(Shape{3}, {-1.0f, 0.5f, 2.0f});
+  clamp_(t, 0.0f, 1.0f);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.5f);
+  EXPECT_EQ(t[2], 1.0f);
+}
+
+TEST(TensorTest, SquaredDistance) {
+  Tensor a(Shape{2}, {0, 0});
+  Tensor b(Shape{2}, {3, 4});
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn(Shape{10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(mean(t), 1.0, 0.1);
+}
+
+// ---------- GEMM ----------
+
+TEST(GemmTest, SmallKnownProduct) {
+  // A [2x3] * B [3x2]
+  const float a[] = {1, 2, 3, 4, 5, 6};
+  const float b[] = {7, 8, 9, 10, 11, 12};
+  float c[4] = {0};
+  gemm(false, false, 2, 2, 3, 1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 58.0f);
+  EXPECT_FLOAT_EQ(c[1], 64.0f);
+  EXPECT_FLOAT_EQ(c[2], 139.0f);
+  EXPECT_FLOAT_EQ(c[3], 154.0f);
+}
+
+TEST(GemmTest, AlphaBetaScaling) {
+  const float a[] = {1, 0, 0, 1};  // identity
+  const float b[] = {5, 6, 7, 8};
+  float c[] = {1, 1, 1, 1};
+  gemm(false, false, 2, 2, 2, 2.0f, a, b, 3.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 2 * 5 + 3);
+  EXPECT_FLOAT_EQ(c[3], 2 * 8 + 3);
+}
+
+// Property: all four transpose combinations agree with a naive reference.
+class GemmTransposeTest : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(GemmTransposeTest, MatchesNaiveReference) {
+  const auto [trans_a, trans_b] = GetParam();
+  const std::int64_t m = 5, n = 4, k = 3;
+  Rng rng(11);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  // Storage honours the trans flags.
+  auto a_at = [&](std::int64_t i, std::int64_t p) {
+    return trans_a ? a[static_cast<std::size_t>(p * m + i)]
+                   : a[static_cast<std::size_t>(i * k + p)];
+  };
+  auto b_at = [&](std::int64_t p, std::int64_t j) {
+    return trans_b ? b[static_cast<std::size_t>(j * k + p)]
+                   : b[static_cast<std::size_t>(p * n + j)];
+  };
+
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float expect = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) expect += a_at(i, p) * b_at(p, j);
+      EXPECT_NEAR(c[static_cast<std::size_t>(i * n + j)], expect, 1e-4f)
+          << "at (" << i << "," << j << ") trans_a=" << trans_a
+          << " trans_b=" << trans_b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+// ---------- im2col ----------
+
+TEST(Im2colTest, OutDims) {
+  EXPECT_EQ(conv_out_dim(28, 3, 1, 1), 28);
+  EXPECT_EQ(conv_out_dim(28, 3, 1, 0), 26);
+  EXPECT_EQ(conv_out_dim(28, 2, 2, 0), 14);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), Error);
+}
+
+TEST(Im2colTest, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1, no pad: columns == image.
+  const float image[] = {1, 2, 3, 4};
+  float cols[4];
+  im2col(image, 1, 2, 2, 1, 1, 1, 0, cols);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cols[i], image[i]);
+}
+
+TEST(Im2colTest, PaddingReadsZero) {
+  const float image[] = {1, 2, 3, 4};  // 1x2x2
+  // 3x3 kernel, pad 1 -> out 2x2; centre tap row is the image itself.
+  std::vector<float> cols(9 * 4);
+  im2col(image, 1, 2, 2, 3, 3, 1, 1, cols.data());
+  // tap (ky=0,kx=0) at output (0,0) reads image(-1,-1) = 0
+  EXPECT_EQ(cols[0], 0.0f);
+  // centre tap (ky=1,kx=1) is row 4: equals the image
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cols[4 * 4 + i], image[i]);
+}
+
+TEST(Im2colTest, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property).
+  Rng rng(31);
+  const std::int64_t c = 2, h = 5, w = 4, kh = 3, kw = 3, stride = 1, pad = 1;
+  const std::int64_t out_h = conv_out_dim(h, kh, stride, pad);
+  const std::int64_t out_w = conv_out_dim(w, kw, stride, pad);
+  const std::int64_t rows = c * kh * kw;
+  std::vector<float> x(static_cast<std::size_t>(c * h * w));
+  std::vector<float> y(static_cast<std::size_t>(rows * out_h * out_w));
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> cols(y.size());
+  im2col(x.data(), c, h, w, kh, kw, stride, pad, cols.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) lhs += cols[i] * y[i];
+
+  std::vector<float> back(x.size(), 0.0f);
+  col2im(y.data(), c, h, w, kh, kw, stride, pad, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ---------- batch ----------
+
+TEST(BatchTest, StackAndSlice) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{2}, {3, 4});
+  const Tensor batch = stack_batch({a, b});
+  EXPECT_EQ(batch.shape(), Shape({2, 2}));
+  EXPECT_EQ(batch_size(batch), 2);
+  const Tensor s = slice_batch(batch, 1);
+  EXPECT_EQ(s.shape(), Shape({2}));
+  EXPECT_EQ(s[0], 3.0f);
+}
+
+TEST(BatchTest, MismatchedShapesThrow) {
+  EXPECT_THROW(stack_batch({Tensor(Shape{2}), Tensor(Shape{3})}), Error);
+  EXPECT_THROW(stack_batch({}), Error);
+  EXPECT_THROW(slice_batch(stack_batch({Tensor(Shape{2})}), 1), Error);
+}
+
+}  // namespace
+}  // namespace dnnv

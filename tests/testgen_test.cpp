@@ -1,0 +1,340 @@
+// Test-generation algorithm tests: greedy optimality and laziness, gradient
+// synthesis, the combined switch rule, and the baselines.
+#include <gtest/gtest.h>
+
+#include "coverage/parameter_coverage.h"
+#include "nn/builder.h"
+#include "nn/loss.h"
+#include "tensor/batch.h"
+#include "testgen/combined_generator.h"
+#include "testgen/gradient_generator.h"
+#include "testgen/greedy_selector.h"
+#include "testgen/neuron_selector.h"
+#include "util/error.h"
+
+namespace dnnv::testgen {
+namespace {
+
+using nn::ActivationKind;
+using nn::Sequential;
+
+Sequential small_relu_net(std::uint64_t seed = 21) {
+  Rng rng(seed);
+  return nn::build_mlp(6, {10, 8}, 4, ActivationKind::kReLU, rng);
+}
+
+std::vector<Tensor> random_pool(int count, std::uint64_t seed = 22) {
+  Rng rng(seed);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < count; ++i) {
+    pool.push_back(Tensor::rand_uniform(Shape{6}, rng, -1.0f, 1.0f));
+  }
+  return pool;
+}
+
+// Naive Algorithm 1 exactly as printed in the paper (full rescan per round).
+std::vector<std::size_t> naive_greedy(const std::vector<DynamicBitset>& masks,
+                                      std::size_t universe, int budget) {
+  DynamicBitset covered(universe);
+  std::vector<bool> used(masks.size(), false);
+  std::vector<std::size_t> picks;
+  for (int round = 0; round < budget; ++round) {
+    std::size_t best = SIZE_MAX;
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      if (used[i]) continue;
+      const std::size_t gain = covered.count_new_bits(masks[i]);
+      // Strict > keeps the first-best tie rule of a linear scan.
+      if (best == SIZE_MAX || gain > best_gain) {
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == SIZE_MAX) break;
+    covered |= masks[best];
+    used[best] = true;
+    picks.push_back(best);
+  }
+  return picks;
+}
+
+// ---------- GreedySelector ----------
+
+TEST(GreedySelectorTest, CoverageTrajectoryIsMonotone) {
+  Sequential model = small_relu_net();
+  const auto pool = random_pool(30);
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  GreedySelector::Options options;
+  options.max_tests = 10;
+  const auto result = GreedySelector(options).select(model, pool, acc);
+  ASSERT_EQ(result.tests.size(), 10u);
+  ASSERT_EQ(result.coverage_after.size(), 10u);
+  for (std::size_t i = 1; i < result.coverage_after.size(); ++i) {
+    EXPECT_GE(result.coverage_after[i], result.coverage_after[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(result.final_coverage, acc.coverage());
+  for (const auto& test : result.tests) {
+    EXPECT_EQ(test.source, TestSource::kTrainingSample);
+    EXPECT_GE(test.pool_index, 0);
+  }
+}
+
+TEST(GreedySelectorTest, LazyGreedyCoverageMatchesNaive) {
+  // Lazy (CELF) greedy may break exact ties differently from a linear scan,
+  // but the resulting coverage after every round must match the naive
+  // Algorithm 1 (both are exact greedy maximisers of a submodular gain).
+  Sequential model = small_relu_net(31);
+  const auto pool = random_pool(40, 32);
+  const auto masks = cov::activation_masks(model, pool, cov::CoverageConfig{});
+  const auto universe = static_cast<std::size_t>(model.param_count());
+
+  const auto naive = naive_greedy(masks, universe, 12);
+
+  cov::CoverageAccumulator acc(universe);
+  GreedySelector::Options options;
+  options.max_tests = 12;
+  std::vector<bool> used(pool.size(), false);
+  const auto lazy =
+      GreedySelector(options).select_with_masks(pool, masks, acc, used);
+
+  ASSERT_EQ(lazy.tests.size(), naive.size());
+  DynamicBitset naive_covered(universe);
+  for (std::size_t round = 0; round < naive.size(); ++round) {
+    naive_covered |= masks[naive[round]];
+    EXPECT_NEAR(lazy.coverage_after[round],
+                static_cast<double>(naive_covered.count()) /
+                    static_cast<double>(universe),
+                1e-12)
+        << "round " << round;
+  }
+}
+
+TEST(GreedySelectorTest, FirstPickHasMaximalSingleCoverage) {
+  Sequential model = small_relu_net(41);
+  const auto pool = random_pool(25, 42);
+  const auto masks = cov::activation_masks(model, pool, cov::CoverageConfig{});
+  std::size_t best_count = 0;
+  for (const auto& mask : masks) best_count = std::max(best_count, mask.count());
+
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  GreedySelector::Options options;
+  options.max_tests = 1;
+  std::vector<bool> used(pool.size(), false);
+  const auto result =
+      GreedySelector(options).select_with_masks(pool, masks, acc, used);
+  ASSERT_EQ(result.tests.size(), 1u);
+  EXPECT_EQ(masks[static_cast<std::size_t>(result.tests[0].pool_index)].count(),
+            best_count);
+}
+
+TEST(GreedySelectorTest, StopOnZeroGainTerminatesEarly) {
+  Sequential model = small_relu_net(51);
+  // A pool of identical inputs: after the first pick every gain is zero.
+  std::vector<Tensor> pool(8, random_pool(1, 52).front());
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  GreedySelector::Options options;
+  options.max_tests = 8;
+  options.stop_on_zero_gain = true;
+  const auto result = GreedySelector(options).select(model, pool, acc);
+  EXPECT_EQ(result.tests.size(), 1u);
+}
+
+TEST(GreedySelectorTest, NeverSelectsSamePoolEntryTwice) {
+  Sequential model = small_relu_net(61);
+  const auto pool = random_pool(5, 62);
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  GreedySelector::Options options;
+  options.max_tests = 10;  // more than the pool
+  const auto result = GreedySelector(options).select(model, pool, acc);
+  EXPECT_EQ(result.tests.size(), 5u);
+  std::set<std::int64_t> picked;
+  for (const auto& test : result.tests) picked.insert(test.pool_index);
+  EXPECT_EQ(picked.size(), 5u);
+}
+
+// ---------- GradientGenerator ----------
+
+TEST(GradientGeneratorTest, SynthesisedBatchTargetsEachClass) {
+  Sequential model = small_relu_net(71);
+  // Freshly-initialised models have all-zero biases, making the all-zero
+  // input a stationary point of the loss (every ReLU pre-activation is
+  // exactly 0). Trained models never have that property; emulate it.
+  Rng bias_rng(70);
+  for (const auto& view : model.param_views()) {
+    if (view.is_bias) {
+      for (std::int64_t i = 0; i < view.size; ++i) {
+        view.data[i] = static_cast<float>(bias_rng.normal(0.0, 0.3));
+      }
+    }
+  }
+  GradientGenerator::Options options;
+  options.steps = 300;
+  options.learning_rate = 0.03f;
+  options.clamp_lo = -2.0f;
+  options.clamp_hi = 2.0f;
+  GradientGenerator generator(options);
+  Rng rng(7);
+  Sequential loss_model = model.clone();
+  const auto batch = generator.generate_batch(loss_model, Shape{6}, 4, 0, rng);
+  ASSERT_EQ(batch.size(), 4u);
+  int classified_as_target = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (model.predict_label(batch[static_cast<std::size_t>(i)]) == i) {
+      ++classified_as_target;
+    }
+  }
+  // Gradient descent should steer most class inputs to their target label.
+  EXPECT_GE(classified_as_target, 3);
+}
+
+TEST(GradientGeneratorTest, FirstBatchStartsFromZeros) {
+  Sequential model = small_relu_net(72);
+  GradientGenerator::Options options;
+  options.steps = 0;  // no updates: output must be the initialisation
+  GradientGenerator generator(options);
+  Rng rng(8);
+  Sequential loss_model = model.clone();
+  const auto batch = generator.generate_batch(loss_model, Shape{6}, 4, 0, rng);
+  for (const auto& input : batch) {
+    EXPECT_FLOAT_EQ(max_abs(input), 0.0f);
+  }
+  // Later batches jitter their init.
+  const auto batch1 = generator.generate_batch(loss_model, Shape{6}, 4, 1, rng);
+  EXPECT_GT(max_abs(batch1.front()), 0.0f);
+}
+
+TEST(GradientGeneratorTest, MaskedModelZeroesCoveredParams) {
+  Sequential model = small_relu_net(73);
+  DynamicBitset covered(static_cast<std::size_t>(model.param_count()));
+  covered.set(0);
+  covered.set(5);
+  Sequential masked = GradientGenerator::masked_model(model, covered);
+  EXPECT_EQ(masked.get_param(0), 0.0f);
+  EXPECT_EQ(masked.get_param(5), 0.0f);
+  EXPECT_EQ(masked.get_param(1), model.get_param(1));
+}
+
+TEST(GradientGeneratorTest, GenerateFillsBudgetInClassBatches) {
+  Sequential model = small_relu_net(74);
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  GradientGenerator::Options options;
+  options.max_tests = 10;  // 2 full batches of k=4 fit
+  options.steps = 20;
+  const auto result =
+      GradientGenerator(options).generate(model, Shape{6}, 4, acc);
+  EXPECT_EQ(result.tests.size(), 8u);
+  for (const auto& test : result.tests) {
+    EXPECT_EQ(test.source, TestSource::kSynthetic);
+    EXPECT_EQ(test.pool_index, -1);
+  }
+  for (std::size_t i = 1; i < result.coverage_after.size(); ++i) {
+    EXPECT_GE(result.coverage_after[i], result.coverage_after[i - 1]);
+  }
+}
+
+// ---------- CombinedGenerator ----------
+
+TEST(CombinedGeneratorTest, FillsBudgetAndMixesSources) {
+  Sequential model = small_relu_net(81);
+  const auto pool = random_pool(20, 82);
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  CombinedGenerator::Options options;
+  options.max_tests = 16;
+  options.gradient.steps = 20;
+  options.gradient.seed = 5;
+  const auto result = CombinedGenerator(options).generate(
+      model, pool, Shape{6}, 4, acc);
+  EXPECT_EQ(result.tests.size(), 16u);
+  for (std::size_t i = 1; i < result.coverage_after.size(); ++i) {
+    EXPECT_GE(result.coverage_after[i], result.coverage_after[i - 1]);
+  }
+  // The early picks should come from the training pool (real samples win
+  // early, as the paper argues).
+  EXPECT_EQ(result.tests.front().source, TestSource::kTrainingSample);
+}
+
+TEST(CombinedGeneratorTest, AtLeastMatchesGreedyAloneOnFinalCoverage) {
+  Sequential model = small_relu_net(91);
+  const auto pool = random_pool(20, 92);
+  const auto universe = static_cast<std::size_t>(model.param_count());
+  const auto masks = cov::activation_masks(model, pool, cov::CoverageConfig{});
+
+  cov::CoverageAccumulator greedy_acc(universe);
+  GreedySelector::Options greedy_options;
+  greedy_options.max_tests = 16;
+  std::vector<bool> used(pool.size(), false);
+  const auto greedy = GreedySelector(greedy_options)
+                          .select_with_masks(pool, masks, greedy_acc, used);
+
+  cov::CoverageAccumulator combined_acc(universe);
+  CombinedGenerator::Options options;
+  options.max_tests = 16;
+  options.gradient.steps = 30;
+  const auto combined = CombinedGenerator(options).generate(
+      model, pool, masks, Shape{6}, 4, combined_acc);
+
+  EXPECT_GE(combined.final_coverage + 1e-9, greedy.final_coverage);
+}
+
+TEST(CombinedGeneratorTest, SwitchesToSyntheticWhenPoolExhausted) {
+  Sequential model = small_relu_net(93);
+  // Pool of one sample: after it, only Algorithm 2 can add coverage.
+  const auto pool = random_pool(1, 94);
+  cov::CoverageAccumulator acc(static_cast<std::size_t>(model.param_count()));
+  CombinedGenerator::Options options;
+  options.max_tests = 9;  // 1 pool + 2 batches of 4
+  options.gradient.steps = 10;
+  const auto result = CombinedGenerator(options).generate(
+      model, pool, Shape{6}, 4, acc);
+  ASSERT_EQ(result.tests.size(), 9u);
+  int synthetic = 0;
+  for (const auto& test : result.tests) {
+    if (test.source == TestSource::kSynthetic) ++synthetic;
+  }
+  EXPECT_EQ(synthetic, 8);
+}
+
+// ---------- NeuronCoverageSelector / RandomSelector ----------
+
+TEST(NeuronSelectorTest, SelectsBudgetAndSaturates) {
+  Sequential model = small_relu_net(95);
+  const auto pool = random_pool(15, 96);
+  NeuronCoverageSelector::Options options;
+  options.max_tests = 10;
+  const auto result =
+      NeuronCoverageSelector(options).select(model, Shape{6}, pool);
+  EXPECT_EQ(result.tests.size(), 10u);
+  // Neuron coverage of an MLP saturates almost immediately; the trajectory
+  // must be monotone and hit its ceiling early.
+  for (std::size_t i = 1; i < result.coverage_after.size(); ++i) {
+    EXPECT_GE(result.coverage_after[i], result.coverage_after[i - 1]);
+  }
+  EXPECT_NEAR(result.coverage_after[2], result.final_coverage, 0.15);
+}
+
+TEST(NeuronSelectorTest, NoDuplicatePicks) {
+  Sequential model = small_relu_net(97);
+  const auto pool = random_pool(12, 98);
+  NeuronCoverageSelector::Options options;
+  options.max_tests = 12;
+  const auto result =
+      NeuronCoverageSelector(options).select(model, Shape{6}, pool);
+  std::set<std::int64_t> picked;
+  for (const auto& test : result.tests) picked.insert(test.pool_index);
+  EXPECT_EQ(picked.size(), result.tests.size());
+}
+
+TEST(RandomSelectorTest, DeterministicAndBounded) {
+  const auto pool = random_pool(9, 99);
+  const auto a = RandomSelector(5, 7).select(pool);
+  const auto b = RandomSelector(5, 7).select(pool);
+  ASSERT_EQ(a.tests.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.tests[i].pool_index, b.tests[i].pool_index);
+  }
+  const auto all = RandomSelector(50, 7).select(pool);
+  EXPECT_EQ(all.tests.size(), 9u);  // clamped to pool size
+}
+
+}  // namespace
+}  // namespace dnnv::testgen
