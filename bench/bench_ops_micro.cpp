@@ -89,6 +89,25 @@ void BM_CoverageMask(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageMask)->Arg(0)->Arg(1)->ArgNames({"exact"});
 
+// Batched mask pipeline: one batched forward + per-item sensitivity passes
+// on a shared workspace. Items/sec here vs BM_CoverageMask (one forward per
+// input) is the engine-level speedup.
+void BM_CoverageMasksBatched(benchmark::State& state) {
+  const auto batch_size = state.range(0);
+  Rng rng(6);
+  auto model = bench_convnet(rng);
+  cov::ParameterCoverage coverage(model, cov::CoverageConfig{});
+  Rng data_rng(7);
+  const Tensor batch = Tensor::rand_uniform(Shape{batch_size, 3, 32, 32},
+                                            data_rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto masks = coverage.activation_masks_batched(batch);
+    benchmark::DoNotOptimize(masks.front().count());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_CoverageMasksBatched)->Arg(1)->Arg(16)->Arg(32);
+
 void BM_BitsetMarginalGain(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Rng rng(8);

@@ -1,10 +1,8 @@
 #include "coverage/neuron_coverage.h"
 
-#include <algorithm>
-
+#include "coverage/pool_sweep.h"
 #include "tensor/batch.h"
 #include "util/error.h"
-#include "util/thread_pool.h"
 
 namespace dnnv::cov {
 namespace {
@@ -37,57 +35,64 @@ NeuronCoverage::NeuronCoverage(nn::Sequential& model, const Shape& item_shape,
   DNNV_CHECK(neuron_count_ > 0, "model has no activation layers");
 }
 
-DynamicBitset NeuronCoverage::neuron_mask(const Tensor& input) {
-  std::vector<Tensor> activations;
-  model_.forward_with_activations(stack_batch({input}), activations);
-
-  DynamicBitset mask(neuron_count_);
-  std::size_t bit = 0;
-  for (const auto& act : activations) {
-    if (act.shape().ndim() == 2) {
-      for (std::int64_t j = 0; j < act.shape()[1]; ++j, ++bit) {
-        if (act[j] > static_cast<float>(config_.threshold)) mask.set(bit);
-      }
-    } else {
-      const std::int64_t channels = act.shape()[1];
-      const std::int64_t plane = act.shape()[2] * act.shape()[3];
-      for (std::int64_t c = 0; c < channels; ++c, ++bit) {
-        double acc = 0.0;
-        const float* p = act.data() + c * plane;
-        for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
-        if (acc / static_cast<double>(plane) >
-            static_cast<double>(config_.threshold)) {
-          mask.set(bit);
-        }
-      }
+void NeuronCoverage::scan_activation(const Tensor& activation,
+                                     std::int64_t item, DynamicBitset& mask,
+                                     std::size_t& bit) const {
+  if (activation.shape().ndim() == 2) {
+    const std::int64_t features = activation.shape()[1];
+    const float* row = activation.data() + item * features;
+    for (std::int64_t j = 0; j < features; ++j, ++bit) {
+      if (row[j] > static_cast<float>(config_.threshold)) mask.set(bit);
+    }
+    return;
+  }
+  const std::int64_t channels = activation.shape()[1];
+  const std::int64_t plane = activation.shape()[2] * activation.shape()[3];
+  const float* base = activation.data() + item * channels * plane;
+  for (std::int64_t c = 0; c < channels; ++c, ++bit) {
+    double acc = 0.0;
+    const float* p = base + c * plane;
+    for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
+    if (acc / static_cast<double>(plane) >
+        static_cast<double>(config_.threshold)) {
+      mask.set(bit);
     }
   }
-  return mask;
+}
+
+DynamicBitset NeuronCoverage::neuron_mask(const Tensor& input) {
+  auto masks = neuron_masks_batched(stack_batch({input}));
+  return std::move(masks.front());
+}
+
+std::vector<DynamicBitset> NeuronCoverage::neuron_masks_batched(
+    const Tensor& batch) {
+  std::vector<const Tensor*> activations;
+  model_.forward_with_activations(batch, workspace_, activations);
+
+  const std::int64_t b = batch.shape()[0];
+  std::vector<DynamicBitset> masks(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    DynamicBitset mask(neuron_count_);
+    std::size_t bit = 0;
+    for (const Tensor* act : activations) scan_activation(*act, i, mask, bit);
+    masks[static_cast<std::size_t>(i)] = std::move(mask);
+  }
+  return masks;
 }
 
 std::vector<DynamicBitset> neuron_masks(const nn::Sequential& model,
                                         const Shape& item_shape,
                                         const std::vector<Tensor>& inputs,
                                         const NeuronCoverageConfig& config) {
-  std::vector<DynamicBitset> masks(inputs.size());
-  if (inputs.empty()) return masks;
-
-  ThreadPool& pool = ThreadPool::shared();
-  const std::size_t num_workers = std::min(pool.num_threads(), inputs.size());
-  const std::size_t chunk = (inputs.size() + num_workers - 1) / num_workers;
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    pool.submit([&, w] {
-      nn::Sequential local = model.clone();
-      NeuronCoverage coverage(local, item_shape, config);
-      const std::size_t begin = w * chunk;
-      const std::size_t end = std::min(inputs.size(), begin + chunk);
-      for (std::size_t i = begin; i < end; ++i) {
-        masks[i] = coverage.neuron_mask(inputs[i]);
-      }
-    });
-  }
-  pool.wait_all();
-  return masks;
+  return detail::sweep_pool(
+      model, inputs,
+      [&item_shape, &config](nn::Sequential& local) {
+        return NeuronCoverage(local, item_shape, config);
+      },
+      [](NeuronCoverage& coverage, const Tensor& batch) {
+        return coverage.neuron_masks_batched(batch);
+      });
 }
 
 }  // namespace dnnv::cov

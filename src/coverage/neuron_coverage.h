@@ -32,15 +32,27 @@ class NeuronCoverage {
   /// Bitset over all neurons: bit set iff the neuron is covered by `input`.
   DynamicBitset neuron_mask(const Tensor& input);
 
+  /// Neuron masks for every item of `batch` ([B, ...]) from one batched
+  /// forward through the workspace engine (activation captures live in the
+  /// reused workspace; no allocations once warmed up). Identical to calling
+  /// neuron_mask() per item.
+  std::vector<DynamicBitset> neuron_masks_batched(const Tensor& batch);
+
   std::size_t neuron_count() const { return neuron_count_; }
 
  private:
+  /// Scans one item's slice of a batched activation capture.
+  void scan_activation(const Tensor& activation, std::int64_t item,
+                       DynamicBitset& mask, std::size_t& bit) const;
+
   nn::Sequential& model_;
   NeuronCoverageConfig config_;
   std::size_t neuron_count_ = 0;
+  nn::Workspace workspace_;  ///< batched-pass buffers, reused across calls
 };
 
-/// Parallel neuron-mask computation over an input pool (clone per worker).
+/// Neuron-mask computation over an input pool: batched forwards, clone per
+/// worker across batches; the result order matches `inputs`.
 std::vector<DynamicBitset> neuron_masks(const nn::Sequential& model,
                                         const Shape& item_shape,
                                         const std::vector<Tensor>& inputs,

@@ -1,10 +1,12 @@
 #include "coverage/parameter_coverage.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "coverage/pool_sweep.h"
 #include "tensor/batch.h"
 #include "util/error.h"
-#include "util/thread_pool.h"
 
 namespace dnnv::cov {
 
@@ -14,13 +16,40 @@ ParameterCoverage::ParameterCoverage(nn::Sequential& model,
   DNNV_CHECK(config_.epsilon >= 0.0, "epsilon must be nonnegative");
 }
 
-void ParameterCoverage::mask_from_grads(DynamicBitset& mask) const {
+void ParameterCoverage::mask_from_grads(DynamicBitset& mask) {
+  // The threshold test runs once per parameter on every item of every pool
+  // sweep — per-bit set() (bounds check + unpredictable branch) is measurable
+  // against the whole mask pipeline. Two branch-free passes instead: a
+  // vectorisable 0/1-byte predicate sweep, then 8-bytes-at-a-time packing
+  // via the multiply trick ((chunk * 0x0102040810204080) >> 56 gathers eight
+  // 0/1 bytes into eight bits, low address -> low bit).
+  const std::size_t count = static_cast<std::size_t>(param_count_);
+  hit_bytes_.resize((count + 63) & ~std::size_t{63});  // zero-padded tail
   std::size_t bit = 0;
   for (const auto& view : model_.param_views()) {
-    for (std::int64_t i = 0; i < view.size; ++i, ++bit) {
-      if (std::fabs(view.grad[i]) > config_.epsilon) mask.set(bit);
+    unsigned char* out = hit_bytes_.data() + bit;
+    for (std::int64_t i = 0; i < view.size; ++i) {
+      out[i] = std::fabs(view.grad[i]) > config_.epsilon ? 1 : 0;
     }
+    bit += static_cast<std::size_t>(view.size);
   }
+  std::fill(hit_bytes_.begin() + static_cast<std::ptrdiff_t>(bit),
+            hit_bytes_.end(), static_cast<unsigned char>(0));
+
+  word_scratch_.assign(hit_bytes_.size() / 64, 0);
+  const unsigned char* src = hit_bytes_.data();
+  for (std::size_t w = 0; w < word_scratch_.size(); ++w, src += 64) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, src + 8 * b, sizeof(chunk));
+      word |= ((chunk * 0x0102040810204080ull) >> 56) << (8 * b);
+    }
+    word_scratch_[w] = word;
+  }
+  // OR (not assign): the exact engine unions one call per class logit. The
+  // staging buffers are members, so a warmed-up call allocates nothing.
+  mask.or_words(word_scratch_.data(), (count + 63) / 64);
 }
 
 DynamicBitset ParameterCoverage::activation_mask(const Tensor& input) {
@@ -50,6 +79,37 @@ DynamicBitset ParameterCoverage::activation_mask(const Tensor& input) {
   return mask;
 }
 
+std::vector<DynamicBitset> ParameterCoverage::activation_masks_batched(
+    const Tensor& batch) {
+  DNNV_CHECK(batch.shape().ndim() >= 2, "expected a batched input");
+  const std::int64_t b = batch.shape()[0];
+  std::vector<DynamicBitset> masks(static_cast<std::size_t>(b));
+  if (b == 0) return masks;
+
+  if (config_.engine == CoverageEngine::kPerClassExact) {
+    // Verification engine: k exact reverse passes per item dominate, so the
+    // simple per-item path loses nothing.
+    for (std::int64_t i = 0; i < b; ++i) {
+      masks[static_cast<std::size_t>(i)] = activation_mask(slice_batch(batch, i));
+    }
+    return masks;
+  }
+
+  const Tensor& logits = model_.forward(batch, workspace_);
+  DNNV_CHECK(logits.shape().ndim() == 2, "model must produce [N, k] logits");
+  const std::int64_t k = logits.shape()[1];
+  Tensor seed(Shape{1, k});
+  seed.fill(1.0f);
+  for (std::int64_t i = 0; i < b; ++i) {
+    model_.zero_grads();
+    model_.sensitivity_backward_item(i, seed, workspace_);
+    DynamicBitset mask(static_cast<std::size_t>(param_count_));
+    mask_from_grads(mask);
+    masks[static_cast<std::size_t>(i)] = std::move(mask);
+  }
+  return masks;
+}
+
 double ParameterCoverage::validation_coverage(const Tensor& input) {
   const DynamicBitset mask = activation_mask(input);
   return static_cast<double>(mask.count()) / static_cast<double>(param_count_);
@@ -58,29 +118,14 @@ double ParameterCoverage::validation_coverage(const Tensor& input) {
 std::vector<DynamicBitset> activation_masks(const nn::Sequential& model,
                                             const std::vector<Tensor>& inputs,
                                             const CoverageConfig& config) {
-  std::vector<DynamicBitset> masks(inputs.size());
-  if (inputs.empty()) return masks;
-
-  ThreadPool& pool = ThreadPool::shared();
-  const std::size_t num_workers =
-      std::min(pool.num_threads(), inputs.size());
-  const std::size_t chunk =
-      (inputs.size() + num_workers - 1) / num_workers;
-  // One model clone per worker; each worker sweeps a contiguous chunk so the
-  // output is deterministic and clone cost is amortised.
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    pool.submit([&, w] {
-      nn::Sequential local = model.clone();
-      ParameterCoverage coverage(local, config);
-      const std::size_t begin = w * chunk;
-      const std::size_t end = std::min(inputs.size(), begin + chunk);
-      for (std::size_t i = begin; i < end; ++i) {
-        masks[i] = coverage.activation_mask(inputs[i]);
-      }
-    });
-  }
-  pool.wait_all();
-  return masks;
+  return detail::sweep_pool(
+      model, inputs,
+      [&config](nn::Sequential& local) {
+        return ParameterCoverage(local, config);
+      },
+      [](ParameterCoverage& coverage, const Tensor& batch) {
+        return coverage.activation_masks_batched(batch);
+      });
 }
 
 }  // namespace dnnv::cov

@@ -45,6 +45,15 @@ class ParameterCoverage {
   /// parameter i is activated by `input` (un-batched CHW / feature item).
   DynamicBitset activation_mask(const Tensor& input);
 
+  /// Activation masks for every item of `batch` ([B, ...]) from ONE batched
+  /// forward plus B per-item sensitivity passes, all sharing this instance's
+  /// workspace (no allocations once warmed up on a batch shape). Bit-identical
+  /// to calling activation_mask() on each item — the GEMM kernel guarantees
+  /// row results independent of batch size, and the per-item sensitivity pass
+  /// runs the same arithmetic as a batch-of-one backward. The kPerClassExact
+  /// verification engine falls back to the per-item path internally.
+  std::vector<DynamicBitset> activation_masks_batched(const Tensor& batch);
+
   /// Validation coverage of a single test: VC(x) = |activated| / |θ| (Eq. 3).
   double validation_coverage(const Tensor& input);
 
@@ -52,15 +61,21 @@ class ParameterCoverage {
   const CoverageConfig& config() const { return config_; }
 
  private:
-  void mask_from_grads(DynamicBitset& mask) const;
+  void mask_from_grads(DynamicBitset& mask);
 
   nn::Sequential& model_;
   CoverageConfig config_;
   std::int64_t param_count_;
+  nn::Workspace workspace_;  ///< batched-pass buffers, reused across calls
+  std::vector<unsigned char> hit_bytes_;     ///< mask_from_grads scratch
+  std::vector<std::uint64_t> word_scratch_;  ///< mask_from_grads scratch
 };
 
-/// Computes activation masks for many inputs in parallel (each worker gets a
-/// model clone); the result order matches `inputs`.
+/// Computes activation masks for many inputs; the result order matches
+/// `inputs`. Inputs are swept in batches through the batched engine
+/// (one model forward per batch, per-item sensitivity passes); worker
+/// threads each clone the model once and own a contiguous range of batches,
+/// so results are deterministic and identical to the serial sweep.
 std::vector<DynamicBitset> activation_masks(const nn::Sequential& model,
                                             const std::vector<Tensor>& inputs,
                                             const CoverageConfig& config = {});

@@ -42,6 +42,23 @@ float activate_grad(ActivationKind kind, float x) {
   DNNV_THROW("unknown activation kind");
 }
 
+float activate_grad_from_output(ActivationKind kind, float y) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      // y = max(x, 0): y > 0 iff x > 0.
+      return y > 0.0f ? 1.0f : 0.0f;
+    case ActivationKind::kTanh:
+      // Same expression as activate_grad with t == y bit-for-bit.
+      return 1.0f - y * y;
+    case ActivationKind::kSigmoid:
+      return y * (1.0f - y);
+    case ActivationKind::kLeakyReLU:
+      // x > 0 iff y > 0 (the negative branch scales by a positive slope).
+      return y > 0.0f ? 1.0f : kLeakySlope;
+  }
+  DNNV_THROW("unknown activation kind");
+}
+
 std::string to_string(ActivationKind kind) {
   switch (kind) {
     case ActivationKind::kReLU:

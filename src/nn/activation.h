@@ -16,6 +16,13 @@ float activate(ActivationKind kind, float x);
 /// f'(x)
 float activate_grad(ActivationKind kind, float x);
 
+/// f'(x) computed from y = f(x). Bitwise identical to activate_grad(kind, x)
+/// for every supported kind (tanh: 1 - y²; sigmoid: y(1-y); relu/leaky:
+/// sign test on y matches the sign test on x), but skips the transcendental
+/// recomputation — the batched engine's backward passes gate with this using
+/// the forward outputs already sitting in the workspace.
+float activate_grad_from_output(ActivationKind kind, float y);
+
 /// Human-readable name ("relu", "tanh", ...).
 std::string to_string(ActivationKind kind);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/workspace.h"
 #include "util/error.h"
 
 namespace dnnv::nn {
@@ -15,11 +16,74 @@ Shape ActivationLayer::output_shape(const Shape& input_shape) const {
 
 Tensor ActivationLayer::forward(const Tensor& input) {
   cached_input_ = input;
+  cached_output_view_ = nullptr;
   Tensor output(input.shape());
   for (std::int64_t i = 0; i < input.numel(); ++i) {
     output[i] = activate(activation_, input[i]);
   }
   return output;
+}
+
+void ActivationLayer::forward_into(std::size_t, const Tensor& input,
+                                   Tensor& output, Workspace&) {
+  cached_input_ = input;
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    output[i] = activate(activation_, input[i]);
+  }
+  cached_output_view_ = &output;
+}
+
+void ActivationLayer::backward_into(std::size_t, const Tensor& grad_output,
+                                    Tensor& grad_input, Workspace&) {
+  // The training-only regularisers need batch statistics / extra passes;
+  // they never run inside the batched engine, so fall back if set.
+  if (sparsity_lambda_ != 0.0f || liveness_lambda_ != 0.0f) {
+    grad_input = backward(grad_output);
+    return;
+  }
+  DNNV_CHECK(grad_output.same_shape(cached_input_),
+             "activation backward shape mismatch");
+  const float* y = cached_output_view_ ? cached_output_view_->data() : nullptr;
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
+    float gate = y ? activate_grad_from_output(activation_, y[i])
+                   : activate_grad(activation_, cached_input_[i]);
+    if (backward_leak_ != 0.0f && gate < backward_leak_) gate = backward_leak_;
+    grad_input[i] = grad_output[i] * gate;
+  }
+}
+
+void ActivationLayer::sensitivity_backward_into(std::size_t,
+                                                const Tensor& sens_output,
+                                                Tensor& sens_input,
+                                                Workspace&) {
+  DNNV_CHECK(sens_output.same_shape(cached_input_),
+             "activation sensitivity shape mismatch");
+  const float* y = cached_output_view_ ? cached_output_view_->data() : nullptr;
+  for (std::int64_t i = 0; i < sens_input.numel(); ++i) {
+    const float gate = y ? activate_grad_from_output(activation_, y[i])
+                         : activate_grad(activation_, cached_input_[i]);
+    sens_input[i] = sens_output[i] * std::fabs(gate);
+  }
+}
+
+void ActivationLayer::sensitivity_backward_item(std::size_t, std::int64_t item,
+                                                const Tensor& sens_output,
+                                                Tensor& sens_input,
+                                                Workspace&) {
+  const std::int64_t n = cached_input_.shape()[0];
+  DNNV_CHECK(item >= 0 && item < n, "item " << item << " outside cached batch");
+  const std::int64_t item_numel = cached_input_.numel() / n;
+  DNNV_CHECK(sens_output.numel() == item_numel,
+             "per-item activation sensitivity size mismatch");
+  const float* x = cached_input_.data() + item * item_numel;
+  const float* y = cached_output_view_
+                       ? cached_output_view_->data() + item * item_numel
+                       : nullptr;
+  for (std::int64_t i = 0; i < item_numel; ++i) {
+    const float gate = y ? activate_grad_from_output(activation_, y[i])
+                         : activate_grad(activation_, x[i]);
+    sens_input[i] = sens_output[i] * std::fabs(gate);
+  }
 }
 
 Tensor ActivationLayer::backward(const Tensor& grad_output) {

@@ -17,6 +17,15 @@ class ActivationLayer : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   Tensor sensitivity_backward(const Tensor& sens_output) override;
+  void forward_into(std::size_t index, const Tensor& input, Tensor& output,
+                    Workspace& ws) override;
+  void backward_into(std::size_t index, const Tensor& grad_output,
+                     Tensor& grad_input, Workspace& ws) override;
+  void sensitivity_backward_into(std::size_t index, const Tensor& sens_output,
+                                 Tensor& sens_input, Workspace& ws) override;
+  void sensitivity_backward_item(std::size_t index, std::int64_t item,
+                                 const Tensor& sens_output, Tensor& sens_input,
+                                 Workspace& ws) override;
   Shape output_shape(const Shape& input_shape) const override;
   bool is_activation() const override { return true; }
   std::unique_ptr<Layer> clone() const override;
@@ -59,6 +68,11 @@ class ActivationLayer : public Layer {
   float liveness_lambda_ = 0.0f;
   float liveness_target_ = 0.0f;
   Tensor cached_input_;
+  /// Forward output of the last forward_into (aliases the workspace output
+  /// buffer; valid until the workspace is reused). Lets the backward gates
+  /// run activate_grad_from_output and skip the transcendental recompute.
+  /// Null after a value-path forward().
+  const Tensor* cached_output_view_ = nullptr;
 };
 
 }  // namespace dnnv::nn

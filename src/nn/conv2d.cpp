@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/workspace.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/error.h"
@@ -41,6 +42,14 @@ Shape Conv2d::output_shape(const Shape& input_shape) const {
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
+  Tensor output(output_shape(input.shape()));
+  Workspace scratch;
+  forward_into(0, input, output, scratch);
+  return output;
+}
+
+void Conv2d::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                          Workspace&) {
   const Shape out_shape = output_shape(input.shape());
   const std::int64_t n = input.shape()[0];
   const std::int64_t h = input.shape()[2];
@@ -50,8 +59,9 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::int64_t out_plane = cached_out_h_ * cached_out_w_;
 
   cached_input_ = input;
-  cached_cols_ = Tensor(Shape{n, col_rows(), out_plane});
-  Tensor output(out_shape);
+  // resize() (not reconstruction) so the im2col cache storage is reused
+  // across calls of the same batch shape.
+  cached_cols_.resize(Shape{n, col_rows(), out_plane});
 
   const std::int64_t in_stride = config_.in_channels * h * w;
   const std::int64_t col_stride = col_rows() * out_plane;
@@ -70,10 +80,17 @@ Tensor Conv2d::forward(const Tensor& input) {
       for (std::int64_t p = 0; p < out_plane; ++p) plane[p] += b;
     }
   }
-  return output;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  Workspace scratch;
+  backward_into(0, grad_output, grad_input, scratch);
+  return grad_input;
+}
+
+void Conv2d::backward_into(std::size_t index, const Tensor& grad_output,
+                           Tensor& grad_input, Workspace& ws) {
   const std::int64_t n = cached_input_.shape()[0];
   const std::int64_t h = cached_input_.shape()[2];
   const std::int64_t w = cached_input_.shape()[3];
@@ -82,8 +99,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                  Shape({n, config_.out_channels, cached_out_h_, cached_out_w_}),
              "grad_output shape " << grad_output.shape() << " unexpected");
 
-  Tensor grad_input(cached_input_.shape());
-  Tensor col_grad(Shape{col_rows(), out_plane});
+  grad_input.fill(0.0f);  // col2im accumulates
+  Tensor& col_grad =
+      ws.buffer(index, kSlotScratch0, Shape{col_rows(), out_plane});
   const std::int64_t in_stride = config_.in_channels * h * w;
   const std::int64_t col_stride = col_rows() * out_plane;
   const std::int64_t out_stride = config_.out_channels * out_plane;
@@ -107,53 +125,81 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
            config_.kernel, config_.stride, config_.pad,
            grad_input.data() + i * in_stride);
   }
-  return grad_input;
 }
 
 Tensor Conv2d::sensitivity_backward(const Tensor& sens_output) {
+  Tensor sens_input(cached_input_.shape());
+  Workspace scratch;
+  sensitivity_backward_into(0, sens_output, sens_input, scratch);
+  return sens_input;
+}
+
+void Conv2d::sensitivity_backward_into(std::size_t index,
+                                       const Tensor& sens_output,
+                                       Tensor& sens_input, Workspace& ws) {
   const std::int64_t n = cached_input_.shape()[0];
-  const std::int64_t h = cached_input_.shape()[2];
-  const std::int64_t w = cached_input_.shape()[3];
-  const std::int64_t out_plane = cached_out_h_ * cached_out_w_;
   DNNV_CHECK(sens_output.shape() ==
                  Shape({n, config_.out_channels, cached_out_h_, cached_out_w_}),
              "sens_output shape " << sens_output.shape() << " unexpected");
-
-  // |W| copy: shared kernel weights receive the sum over all spatial taps of
-  // |input tap| * sensitivity, which is zero iff no tap can propagate.
-  Tensor abs_weights = weights_;
-  for (std::int64_t i = 0; i < abs_weights.numel(); ++i) {
-    abs_weights[i] = std::fabs(abs_weights[i]);
-  }
-
-  Tensor sens_input(cached_input_.shape());
-  Tensor abs_cols(Shape{col_rows(), out_plane});
-  Tensor col_sens(Shape{col_rows(), out_plane});
-  const std::int64_t in_stride = config_.in_channels * h * w;
-  const std::int64_t col_stride = col_rows() * out_plane;
+  sens_input.fill(0.0f);  // col2im accumulates
+  const std::int64_t out_plane = cached_out_h_ * cached_out_w_;
+  const std::int64_t in_stride = config_.in_channels *
+                                 cached_input_.shape()[2] *
+                                 cached_input_.shape()[3];
   const std::int64_t out_stride = config_.out_channels * out_plane;
-
   for (std::int64_t i = 0; i < n; ++i) {
-    const float* s_out = sens_output.data() + i * out_stride;
-    const float* cols = cached_cols_.data() + i * col_stride;
-    for (std::int64_t j = 0; j < col_rows() * out_plane; ++j) {
-      abs_cols[j] = std::fabs(cols[j]);
-    }
-    gemm(false, true, config_.out_channels, col_rows(), out_plane, 1.0f, s_out,
-         abs_cols.data(), 1.0f, weight_grad_.data());
-    for (std::int64_t oc = 0; oc < config_.out_channels; ++oc) {
-      const float* plane = s_out + oc * out_plane;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < out_plane; ++p) acc += plane[p];
-      bias_grad_[oc] += acc;
-    }
-    gemm(true, false, col_rows(), out_plane, config_.out_channels, 1.0f,
-         abs_weights.data(), s_out, 0.0f, col_sens.data());
-    col2im(col_sens.data(), config_.in_channels, h, w, config_.kernel,
-           config_.kernel, config_.stride, config_.pad,
-           sens_input.data() + i * in_stride);
+    sensitivity_item(index, i, sens_output.data() + i * out_stride,
+                     sens_input.data() + i * in_stride, ws);
   }
-  return sens_input;
+}
+
+void Conv2d::sensitivity_backward_item(std::size_t index, std::int64_t item,
+                                       const Tensor& sens_output,
+                                       Tensor& sens_input, Workspace& ws) {
+  DNNV_CHECK(item >= 0 && item < cached_input_.shape()[0],
+             "item " << item << " outside cached batch");
+  DNNV_CHECK(sens_output.shape() ==
+                 Shape({1, config_.out_channels, cached_out_h_, cached_out_w_}),
+             "per-item sens_output shape " << sens_output.shape()
+                                           << " unexpected");
+  sens_input.fill(0.0f);  // col2im accumulates
+  sensitivity_item(index, item, sens_output.data(), sens_input.data(), ws);
+}
+
+// One item of the absolute-sensitivity pass, shared by the batched and
+// per-item entry points so their accumulation order is identical. `s_out` and
+// `sens_image` point at this item's [out_c, outH, outW] sensitivity slice and
+// [C, H, W] output slice respectively; the im2col cache of the most recent
+// batched forward supplies |x| taps. The |W| / |col| factors are applied by
+// gemm_abs during panel packing — no absolute-value copies are materialised.
+// Shared kernel weights receive the sum over all spatial taps of
+// |input tap| * sensitivity, which is zero iff no tap can propagate.
+void Conv2d::sensitivity_item(std::size_t index, std::int64_t item,
+                              const float* s_out, float* sens_image,
+                              Workspace& ws) {
+  const std::int64_t h = cached_input_.shape()[2];
+  const std::int64_t w = cached_input_.shape()[3];
+  const std::int64_t out_plane = cached_out_h_ * cached_out_w_;
+  const std::int64_t col_stride = col_rows() * out_plane;
+
+  Tensor& col_sens =
+      ws.buffer(index, kSlotScratch2, Shape{col_rows(), out_plane});
+
+  const float* cols = cached_cols_.data() + item * col_stride;
+  gemm_abs(false, true, /*abs_a=*/false, /*abs_b=*/true, config_.out_channels,
+           col_rows(), out_plane, 1.0f, s_out, cols, 1.0f,
+           weight_grad_.data());
+  for (std::int64_t oc = 0; oc < config_.out_channels; ++oc) {
+    const float* plane = s_out + oc * out_plane;
+    float acc = 0.0f;
+    for (std::int64_t p = 0; p < out_plane; ++p) acc += plane[p];
+    bias_grad_[oc] += acc;
+  }
+  gemm_abs(true, false, /*abs_a=*/true, /*abs_b=*/false, col_rows(), out_plane,
+           config_.out_channels, 1.0f, weights_.data(), s_out, 0.0f,
+           col_sens.data());
+  col2im(col_sens.data(), config_.in_channels, h, w, config_.kernel,
+         config_.kernel, config_.stride, config_.pad, sens_image);
 }
 
 std::vector<ParamView> Conv2d::param_views() {

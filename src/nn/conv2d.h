@@ -27,6 +27,15 @@ class Conv2d : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   Tensor sensitivity_backward(const Tensor& sens_output) override;
+  void forward_into(std::size_t index, const Tensor& input, Tensor& output,
+                    Workspace& ws) override;
+  void backward_into(std::size_t index, const Tensor& grad_output,
+                     Tensor& grad_input, Workspace& ws) override;
+  void sensitivity_backward_into(std::size_t index, const Tensor& sens_output,
+                                 Tensor& sens_input, Workspace& ws) override;
+  void sensitivity_backward_item(std::size_t index, std::int64_t item,
+                                 const Tensor& sens_output, Tensor& sens_input,
+                                 Workspace& ws) override;
   Shape output_shape(const Shape& input_shape) const override;
   std::vector<ParamView> param_views() override;
   std::unique_ptr<Layer> clone() const override;
@@ -40,6 +49,10 @@ class Conv2d : public Layer {
  private:
   Conv2d() = default;  // for load()/clone()
   void check_input(const Shape& input_shape) const;
+  /// One item's sensitivity propagation (shared by the batched and per-item
+  /// passes so both run identical arithmetic in identical order).
+  void sensitivity_item(std::size_t index, std::int64_t item,
+                        const float* s_out, float* sens_image, Workspace& ws);
   std::int64_t col_rows() const {
     return config_.in_channels * config_.kernel * config_.kernel;
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/workspace.h"
 #include "tensor/gemm.h"
 #include "util/error.h"
 
@@ -28,10 +29,18 @@ Shape Dense::output_shape(const Shape& input_shape) const {
 }
 
 Tensor Dense::forward(const Tensor& input) {
-  const Shape out_shape = output_shape(input.shape());
+  Tensor output(output_shape(input.shape()));
+  Workspace scratch;
+  forward_into(0, input, output, scratch);
+  return output;
+}
+
+void Dense::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                         Workspace&) {
   const std::int64_t n = input.shape()[0];
+  DNNV_CHECK(input.shape().ndim() == 2 && input.shape()[1] == in_features_,
+             "dense expects [N, " << in_features_ << "], got " << input.shape());
   cached_input_ = input;
-  Tensor output(out_shape);
   // y[N,out] = x[N,in] * W^T  (W stored [out,in] -> trans_b)
   gemm(false, true, n, out_features_, in_features_, 1.0f, input.data(),
        weights_.data(), 0.0f, output.data());
@@ -39,10 +48,17 @@ Tensor Dense::forward(const Tensor& input) {
     float* row = output.data() + i * out_features_;
     for (std::int64_t j = 0; j < out_features_; ++j) row[j] += bias_[j];
   }
-  return output;
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  Workspace scratch;
+  backward_into(0, grad_output, grad_input, scratch);
+  return grad_input;
+}
+
+void Dense::backward_into(std::size_t, const Tensor& grad_output,
+                          Tensor& grad_input, Workspace&) {
   const std::int64_t n = cached_input_.shape()[0];
   DNNV_CHECK(grad_output.shape() == Shape({n, out_features_}),
              "grad_output shape " << grad_output.shape() << " unexpected");
@@ -54,48 +70,65 @@ Tensor Dense::backward(const Tensor& grad_output) {
     for (std::int64_t j = 0; j < out_features_; ++j) bias_grad_[j] += row[j];
   }
   // dx[N,in] = dy[N,out] * W[out,in]
-  Tensor grad_input(cached_input_.shape());
   gemm(false, false, n, in_features_, out_features_, 1.0f, grad_output.data(),
        weights_.data(), 0.0f, grad_input.data());
-  return grad_input;
 }
 
 Tensor Dense::sensitivity_backward(const Tensor& sens_output) {
+  Tensor sens_input(cached_input_.shape());
+  Workspace scratch;
+  sensitivity_backward_into(0, sens_output, sens_input, scratch);
+  return sens_input;
+}
+
+void Dense::sensitivity_backward_into(std::size_t, const Tensor& sens_output,
+                                      Tensor& sens_input, Workspace&) {
   const std::int64_t n = cached_input_.shape()[0];
   DNNV_CHECK(sens_output.shape() == Shape({n, out_features_}),
              "sens_output shape " << sens_output.shape() << " unexpected");
+  sens_input.fill(0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    sensitivity_item(i, sens_output.data() + i * out_features_,
+                     sens_input.data() + i * in_features_);
+  }
+}
+
+void Dense::sensitivity_backward_item(std::size_t, std::int64_t item,
+                                      const Tensor& sens_output,
+                                      Tensor& sens_input, Workspace&) {
+  DNNV_CHECK(item >= 0 && item < cached_input_.shape()[0],
+             "item " << item << " outside cached batch");
+  DNNV_CHECK(sens_output.shape() == Shape({1, out_features_}),
+             "per-item sens_output shape " << sens_output.shape()
+                                           << " unexpected");
+  sens_input.fill(0.0f);
+  sensitivity_item(item, sens_output.data(), sens_input.data());
+}
+
+// Shared per-item kernel: the batched pass and the per-item pass run the
+// exact same arithmetic, which is what keeps activation_masks_batched
+// bit-identical to the per-item path.
+void Dense::sensitivity_item(std::int64_t item, const float* s_row,
+                             float* out_row) {
   // Same dataflow as backward, with |x| and |W|. A weight w_ji can propagate a
   // perturbation iff its input x_i is non-zero AND the output j is sensitive;
   // summing |s_j|·|x_i| (instead of the signed product) cannot cancel, so a
   // zero sensitivity means "no propagation path" exactly.
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* s_row = sens_output.data() + i * out_features_;
-    const float* x_row = cached_input_.data() + i * in_features_;
-    for (std::int64_t j = 0; j < out_features_; ++j) {
-      const float s = s_row[j];
-      if (s == 0.0f) continue;
-      float* wg_row = weight_grad_.data() + j * in_features_;
-      for (std::int64_t k = 0; k < in_features_; ++k) {
-        wg_row[k] += s * std::fabs(x_row[k]);
-      }
-      bias_grad_[j] += s;
+  const float* x_row = cached_input_.data() + item * in_features_;
+  for (std::int64_t j = 0; j < out_features_; ++j) {
+    const float s = s_row[j];
+    if (s == 0.0f) continue;
+    float* wg_row = weight_grad_.data() + j * in_features_;
+    for (std::int64_t k = 0; k < in_features_; ++k) {
+      wg_row[k] += s * std::fabs(x_row[k]);
+    }
+    bias_grad_[j] += s;
+    // Input sensitivity: ŝ_i = Σ_j |W_ji| s_j.
+    const float* w_row = weights_.data() + j * in_features_;
+    for (std::int64_t k = 0; k < in_features_; ++k) {
+      out_row[k] += s * std::fabs(w_row[k]);
     }
   }
-  // Input sensitivity: ŝ_i = Σ_j |W_ji| s_j.
-  Tensor sens_input(cached_input_.shape());
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* s_row = sens_output.data() + i * out_features_;
-    float* out_row = sens_input.data() + i * in_features_;
-    for (std::int64_t j = 0; j < out_features_; ++j) {
-      const float s = s_row[j];
-      if (s == 0.0f) continue;
-      const float* w_row = weights_.data() + j * in_features_;
-      for (std::int64_t k = 0; k < in_features_; ++k) {
-        out_row[k] += s * std::fabs(w_row[k]);
-      }
-    }
-  }
-  return sens_input;
 }
 
 std::vector<ParamView> Dense::param_views() {

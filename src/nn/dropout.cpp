@@ -1,5 +1,8 @@
 #include "nn/dropout.h"
 
+#include <algorithm>
+
+#include "nn/workspace.h"
 #include "util/error.h"
 
 namespace dnnv::nn {
@@ -47,6 +50,57 @@ Tensor Dropout::sensitivity_backward(const Tensor& sens_output) {
     sens_input[i] = sens_output[i] * mask_[i];
   }
   return sens_input;
+}
+
+void Dropout::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                           Workspace&) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Tensor();  // identity: backward passes gradients through
+    std::copy(input.data(), input.data() + input.numel(), output.data());
+    return;
+  }
+  // Training mode stays on the allocating path (the batched engine always
+  // runs models in inference mode).
+  output = forward(input);
+}
+
+void Dropout::backward_into(std::size_t, const Tensor& grad_output,
+                            Tensor& grad_input, Workspace&) {
+  if (mask_.numel() == 0) {
+    std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+              grad_input.data());
+    return;
+  }
+  grad_input = backward(grad_output);
+}
+
+void Dropout::sensitivity_backward_into(std::size_t, const Tensor& sens_output,
+                                        Tensor& sens_input, Workspace&) {
+  if (mask_.numel() == 0) {
+    std::copy(sens_output.data(), sens_output.data() + sens_output.numel(),
+              sens_input.data());
+    return;
+  }
+  sens_input = sensitivity_backward(sens_output);
+}
+
+void Dropout::sensitivity_backward_item(std::size_t, std::int64_t item,
+                                        const Tensor& sens_output,
+                                        Tensor& sens_input, Workspace&) {
+  if (mask_.numel() == 0) {  // inference: identity
+    std::copy(sens_output.data(), sens_output.data() + sens_output.numel(),
+              sens_input.data());
+    return;
+  }
+  const std::int64_t n = mask_.shape()[0];
+  DNNV_CHECK(item >= 0 && item < n, "item " << item << " outside cached batch");
+  const std::int64_t item_numel = mask_.numel() / n;
+  DNNV_CHECK(sens_output.numel() == item_numel,
+             "per-item dropout sensitivity size mismatch");
+  const float* m = mask_.data() + item * item_numel;
+  for (std::int64_t i = 0; i < item_numel; ++i) {
+    sens_input[i] = sens_output[i] * m[i];
+  }
 }
 
 std::unique_ptr<Layer> Dropout::clone() const {

@@ -1,5 +1,8 @@
 #include "nn/flatten.h"
 
+#include <algorithm>
+
+#include "nn/workspace.h"
 #include "util/error.h"
 
 namespace dnnv::nn {
@@ -24,6 +27,37 @@ Tensor Flatten::backward(const Tensor& grad_output) {
 
 Tensor Flatten::sensitivity_backward(const Tensor& sens_output) {
   return sens_output.reshaped(cached_input_shape_);
+}
+
+namespace {
+// A reshape between workspace buffers is a straight element copy.
+void copy_elements(const Tensor& src, Tensor& dst) {
+  DNNV_CHECK(src.numel() == dst.numel(), "flatten element count mismatch");
+  std::copy(src.data(), src.data() + src.numel(), dst.data());
+}
+}  // namespace
+
+void Flatten::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                           Workspace&) {
+  cached_input_shape_ = input.shape();
+  copy_elements(input, output);
+}
+
+void Flatten::backward_into(std::size_t, const Tensor& grad_output,
+                            Tensor& grad_input, Workspace&) {
+  copy_elements(grad_output, grad_input);
+}
+
+void Flatten::sensitivity_backward_into(std::size_t, const Tensor& sens_output,
+                                        Tensor& sens_input, Workspace&) {
+  copy_elements(sens_output, sens_input);
+}
+
+void Flatten::sensitivity_backward_item(std::size_t, std::int64_t,
+                                        const Tensor& sens_output,
+                                        Tensor& sens_input, Workspace&) {
+  // Per-item slices reshape exactly like the whole batch.
+  copy_elements(sens_output, sens_input);
 }
 
 std::unique_ptr<Layer> Flatten::clone() const {

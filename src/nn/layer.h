@@ -12,6 +12,8 @@
 
 namespace dnnv::nn {
 
+class Workspace;
+
 /// Non-owning view of one named parameter tensor and its gradient buffer.
 /// `data` and `grad` are flat arrays of `size` floats owned by the layer.
 struct ParamView {
@@ -49,6 +51,39 @@ class Layer {
   virtual Tensor forward(const Tensor& input) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
   virtual Tensor sensitivity_backward(const Tensor& sens_output) = 0;
+
+  // ---- Batched engine entry points (see nn/workspace.h) ----
+  //
+  // The *_into variants compute the same function as forward/backward/
+  // sensitivity_backward but write into a caller-provided buffer (already
+  // shaped via output_shape) and take scratch from the workspace, so a
+  // warmed-up pass performs no allocations. `index` is the layer's position
+  // in its Sequential and namespaces its workspace slots. Defaults fall back
+  // to the allocating methods — layers override them on the hot paths.
+
+  /// Batched forward into `output`; must also populate the layer's backward
+  /// caches exactly like forward().
+  virtual void forward_into(std::size_t index, const Tensor& input,
+                            Tensor& output, Workspace& ws);
+
+  /// Reverse-mode pass into `grad_input` (shaped like the cached input).
+  virtual void backward_into(std::size_t index, const Tensor& grad_output,
+                             Tensor& grad_input, Workspace& ws);
+
+  /// Absolute-sensitivity pass into `sens_input`.
+  virtual void sensitivity_backward_into(std::size_t index,
+                                         const Tensor& sens_output,
+                                         Tensor& sens_input, Workspace& ws);
+
+  /// Per-item absolute-sensitivity pass against the caches of the most
+  /// recent BATCHED forward: propagates `sens_output` (leading dim 1) for
+  /// batch item `item`, accumulating parameter sensitivities into the grad
+  /// buffers exactly as sensitivity_backward would on a batch of one. This
+  /// is the primitive behind ParameterCoverage::activation_masks_batched —
+  /// one batched forward amortised across per-item coverage passes.
+  virtual void sensitivity_backward_item(std::size_t index, std::int64_t item,
+                                         const Tensor& sens_output,
+                                         Tensor& sens_input, Workspace& ws);
 
   /// Output shape for a given (un-batched or batched) input shape.
   virtual Shape output_shape(const Shape& input_shape) const = 0;

@@ -1,5 +1,6 @@
 #include "nn/maxpool2d.h"
 
+#include "nn/workspace.h"
 #include "tensor/im2col.h"
 #include "util/error.h"
 
@@ -18,6 +19,17 @@ Shape MaxPool2d::output_shape(const Shape& input_shape) const {
 }
 
 Tensor MaxPool2d::forward(const Tensor& input) {
+  Tensor output(output_shape(input.shape()));
+  fill_forward(input, output);
+  return output;
+}
+
+void MaxPool2d::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                             Workspace&) {
+  fill_forward(input, output);
+}
+
+void MaxPool2d::fill_forward(const Tensor& input, Tensor& output) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_shape_ = input.shape();
   const std::int64_t n = input.shape()[0];
@@ -27,7 +39,6 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   const std::int64_t out_h = out_shape[2];
   const std::int64_t out_w = out_shape[3];
 
-  Tensor output(out_shape);
   argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
   std::int64_t out_idx = 0;
   for (std::int64_t i = 0; i < n; ++i) {
@@ -59,17 +70,21 @@ Tensor MaxPool2d::forward(const Tensor& input) {
       }
     }
   }
-  return output;
 }
 
 Tensor MaxPool2d::route_back(const Tensor& upstream) const {
+  Tensor downstream(cached_input_shape_);
+  route_back_into(upstream, downstream);
+  return downstream;
+}
+
+void MaxPool2d::route_back_into(const Tensor& upstream,
+                                Tensor& downstream) const {
   DNNV_CHECK(static_cast<std::size_t>(upstream.numel()) == argmax_.size(),
              "pool upstream size mismatch — forward not called?");
-  Tensor downstream(cached_input_shape_);
   for (std::int64_t i = 0; i < upstream.numel(); ++i) {
     downstream[argmax_[static_cast<std::size_t>(i)]] += upstream[i];
   }
-  return downstream;
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
@@ -80,6 +95,39 @@ Tensor MaxPool2d::sensitivity_backward(const Tensor& sens_output) {
   // Max pooling is a selection: only the winning tap influences the output,
   // so sensitivity routes exactly like the gradient.
   return route_back(sens_output);
+}
+
+void MaxPool2d::backward_into(std::size_t, const Tensor& grad_output,
+                              Tensor& grad_input, Workspace&) {
+  grad_input.fill(0.0f);  // scatter target
+  route_back_into(grad_output, grad_input);
+}
+
+void MaxPool2d::sensitivity_backward_into(std::size_t,
+                                          const Tensor& sens_output,
+                                          Tensor& sens_input, Workspace&) {
+  sens_input.fill(0.0f);  // scatter target
+  route_back_into(sens_output, sens_input);
+}
+
+void MaxPool2d::sensitivity_backward_item(std::size_t, std::int64_t item,
+                                          const Tensor& sens_output,
+                                          Tensor& sens_input, Workspace&) {
+  const std::int64_t n = cached_input_shape_[0];
+  DNNV_CHECK(item >= 0 && item < n, "item " << item << " outside cached batch");
+  const std::int64_t out_item =
+      static_cast<std::int64_t>(argmax_.size()) / n;
+  const std::int64_t in_item = cached_input_shape_.numel() / n;
+  DNNV_CHECK(sens_output.numel() == out_item,
+             "per-item pool sensitivity size mismatch");
+  // argmax_ holds batch-absolute input indices; rebase onto this item.
+  const std::int64_t base = item * in_item;
+  sens_input.fill(0.0f);
+  for (std::int64_t i = 0; i < out_item; ++i) {
+    const std::int64_t target =
+        argmax_[static_cast<std::size_t>(item * out_item + i)] - base;
+    sens_input[target] += sens_output[i];
+  }
 }
 
 std::unique_ptr<Layer> MaxPool2d::clone() const {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/workspace.h"
 #include "util/error.h"
 
 namespace dnnv::nn {
@@ -39,6 +40,42 @@ Tensor Normalize::sensitivity_backward(const Tensor& sens_output) {
     sens_input[i] = sens_output[i] * inv;
   }
   return sens_input;
+}
+
+void Normalize::forward_into(std::size_t, const Tensor& input, Tensor& output,
+                             Workspace&) {
+  const float inv = 1.0f / scale_;
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    output[i] = (input[i] - mean_) * inv;
+  }
+}
+
+void Normalize::backward_into(std::size_t, const Tensor& grad_output,
+                              Tensor& grad_input, Workspace&) {
+  const float inv = 1.0f / scale_;
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * inv;
+  }
+}
+
+void Normalize::sensitivity_backward_into(std::size_t,
+                                          const Tensor& sens_output,
+                                          Tensor& sens_input, Workspace&) {
+  const float inv = std::fabs(1.0f / scale_);
+  for (std::int64_t i = 0; i < sens_output.numel(); ++i) {
+    sens_input[i] = sens_output[i] * inv;
+  }
+}
+
+void Normalize::sensitivity_backward_item(std::size_t, std::int64_t,
+                                          const Tensor& sens_output,
+                                          Tensor& sens_input, Workspace&) {
+  // Stateless elementwise scale: the per-item pass is the batched pass on a
+  // batch of one.
+  const float inv = std::fabs(1.0f / scale_);
+  for (std::int64_t i = 0; i < sens_output.numel(); ++i) {
+    sens_input[i] = sens_output[i] * inv;
+  }
 }
 
 std::unique_ptr<Layer> Normalize::clone() const {

@@ -75,6 +75,87 @@ Tensor Sequential::sensitivity_backward(const Tensor& sens_logits) {
   return sens;
 }
 
+const Tensor& Sequential::forward(const Tensor& input, Workspace& ws) {
+  DNNV_CHECK(!layers_.empty(), "empty model");
+  auto& shapes = ws.shapes();
+  shapes.clear();
+  shapes.reserve(layers_.size());
+  const Tensor* value = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    shapes.push_back(value->shape());
+    Tensor& out =
+        ws.buffer(i, kSlotOutput, layers_[i]->output_shape(value->shape()));
+    layers_[i]->forward_into(i, *value, out, ws);
+    value = &out;
+  }
+  return *value;
+}
+
+const Tensor& Sequential::forward_with_activations(
+    const Tensor& input, Workspace& ws,
+    std::vector<const Tensor*>& activations) {
+  DNNV_CHECK(!layers_.empty(), "empty model");
+  activations.clear();
+  auto& shapes = ws.shapes();
+  shapes.clear();
+  shapes.reserve(layers_.size());
+  const Tensor* value = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    shapes.push_back(value->shape());
+    Tensor& out =
+        ws.buffer(i, kSlotOutput, layers_[i]->output_shape(value->shape()));
+    layers_[i]->forward_into(i, *value, out, ws);
+    value = &out;
+    if (layers_[i]->is_activation()) activations.push_back(value);
+  }
+  return *value;
+}
+
+const Tensor& Sequential::backward(const Tensor& grad_logits, Workspace& ws) {
+  const auto& shapes = ws.shapes();
+  DNNV_CHECK(shapes.size() == layers_.size(),
+             "workspace backward without a prior workspace forward");
+  const Tensor* grad = &grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Tensor& grad_in = ws.buffer(i, kSlotGrad, shapes[i]);
+    layers_[i]->backward_into(i, *grad, grad_in, ws);
+    grad = &grad_in;
+  }
+  return *grad;
+}
+
+const Tensor& Sequential::sensitivity_backward(const Tensor& sens_logits,
+                                               Workspace& ws) {
+  const auto& shapes = ws.shapes();
+  DNNV_CHECK(shapes.size() == layers_.size(),
+             "workspace sensitivity pass without a prior workspace forward");
+  const Tensor* sens = &sens_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Tensor& sens_in = ws.buffer(i, kSlotSens, shapes[i]);
+    layers_[i]->sensitivity_backward_into(i, *sens, sens_in, ws);
+    sens = &sens_in;
+  }
+  return *sens;
+}
+
+const Tensor& Sequential::sensitivity_backward_item(std::int64_t item,
+                                                    const Tensor& sens_logits,
+                                                    Workspace& ws) {
+  const auto& shapes = ws.shapes();
+  DNNV_CHECK(shapes.size() == layers_.size(),
+             "per-item sensitivity pass without a prior workspace forward");
+  const Tensor* sens = &sens_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    // This layer's input shape with the batch axis collapsed to one item.
+    std::vector<std::int64_t> dims = shapes[i].dims();
+    dims[0] = 1;
+    Tensor& sens_in = ws.buffer(i, kSlotSens, Shape(dims));
+    layers_[i]->sensitivity_backward_item(i, item, *sens, sens_in, ws);
+    sens = &sens_in;
+  }
+  return *sens;
+}
+
 void Sequential::zero_grads() {
   for (auto& layer : layers_) layer->zero_grads();
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace dnnv::nn {
 
@@ -52,6 +53,36 @@ class Sequential {
   /// Absolute-sensitivity pass; call after forward. Accumulates parameter
   /// sensitivities into the gradient buffers and returns input sensitivities.
   Tensor sensitivity_backward(const Tensor& sens_logits);
+
+  // ---- Batched engine (see nn/workspace.h) ----
+  //
+  // Same math as the value-returning methods above, but every intermediate
+  // activation lives in `ws`, so a warmed-up pass performs no allocations.
+  // The returned references point into `ws` and stay valid until its next
+  // use. One Workspace serves one model instance on one thread.
+
+  /// Batched forward; returns the logits buffer.
+  const Tensor& forward(const Tensor& input, Workspace& ws);
+
+  /// Batched forward capturing pointers to every activation layer's output
+  /// (in order). The pointees live in `ws`.
+  const Tensor& forward_with_activations(const Tensor& input, Workspace& ws,
+                                         std::vector<const Tensor*>& activations);
+
+  /// Reverse-mode pass over the most recent workspace forward.
+  const Tensor& backward(const Tensor& grad_logits, Workspace& ws);
+
+  /// Absolute-sensitivity pass over the most recent workspace forward.
+  const Tensor& sensitivity_backward(const Tensor& sens_logits, Workspace& ws);
+
+  /// Per-item absolute-sensitivity pass against the caches of the most
+  /// recent BATCHED workspace forward: propagates `sens_logits` (shape
+  /// [1, k]) for batch item `item` only, accumulating that item's parameter
+  /// sensitivities into the grad buffers. One batched forward + N of these
+  /// is the engine behind cov::ParameterCoverage::activation_masks_batched.
+  const Tensor& sensitivity_backward_item(std::int64_t item,
+                                          const Tensor& sens_logits,
+                                          Workspace& ws);
 
   /// Zeroes all parameter gradient buffers.
   void zero_grads();

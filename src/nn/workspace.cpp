@@ -1,0 +1,19 @@
+#include "nn/workspace.h"
+
+namespace dnnv::nn {
+
+Tensor& Workspace::buffer(std::size_t layer_index, int slot,
+                          const Shape& shape) {
+  Tensor& t = buffers_[key(layer_index, slot)];
+  if (t.shape() != shape) t.resize(shape);
+  return t;
+}
+
+Tensor& Workspace::zeroed(std::size_t layer_index, int slot,
+                          const Shape& shape) {
+  Tensor& t = buffer(layer_index, slot, shape);
+  t.fill(0.0f);
+  return t;
+}
+
+}  // namespace dnnv::nn

@@ -24,6 +24,27 @@ Tensor stack_batch(const std::vector<Tensor>& items) {
   return out;
 }
 
+void stack_batch_range(const std::vector<Tensor>& items, std::size_t begin,
+                       std::size_t end, Tensor& out) {
+  DNNV_CHECK(begin < end && end <= items.size(),
+             "bad stack range [" << begin << ", " << end << ") of "
+                                 << items.size());
+  const Shape& item_shape = items[begin].shape();
+  std::vector<std::int64_t> dims;
+  dims.push_back(static_cast<std::int64_t>(end - begin));
+  dims.insert(dims.end(), item_shape.dims().begin(), item_shape.dims().end());
+  out.resize(Shape(dims));
+  const std::int64_t stride = item_shape.numel();
+  for (std::size_t i = begin; i < end; ++i) {
+    DNNV_CHECK(items[i].shape() == item_shape,
+               "batch item " << i << " has shape " << items[i].shape()
+                             << ", expected " << item_shape);
+    std::memcpy(out.data() + static_cast<std::int64_t>(i - begin) * stride,
+                items[i].data(),
+                static_cast<std::size_t>(stride) * sizeof(float));
+  }
+}
+
 Tensor slice_batch(const Tensor& batch, std::int64_t index) {
   DNNV_CHECK(batch.shape().ndim() >= 2, "slice_batch needs a batched tensor");
   const std::int64_t n = batch.shape()[0];

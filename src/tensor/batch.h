@@ -11,6 +11,11 @@ namespace dnnv {
 /// Stacks same-shaped tensors into one tensor with a leading batch axis.
 Tensor stack_batch(const std::vector<Tensor>& items);
 
+/// Stacks items[begin..end) into `out` ([end-begin, item...]), reusing out's
+/// storage across calls (the batched coverage pipeline's chunk loop).
+void stack_batch_range(const std::vector<Tensor>& items, std::size_t begin,
+                       std::size_t end, Tensor& out);
+
 /// Extracts item `index` of a batched tensor (drops the leading axis).
 Tensor slice_batch(const Tensor& batch, std::int64_t index);
 

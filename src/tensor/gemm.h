@@ -9,9 +9,37 @@ namespace dnnv {
 /// C[M,N] = alpha * op(A) * op(B) + beta * C, row-major.
 /// op(A) is A[M,K] (trans_a=false) or Aᵀ with A stored [K,M] (trans_a=true);
 /// likewise for B with dimensions [K,N] / [N,K].
+///
+/// Implementation: cache-blocked with packed micro-panels (transposes are
+/// folded into the packing step, never materialised) and a branchless
+/// register-tiled micro-kernel; large calls parallelise the M dimension over
+/// ThreadPool::shared(). Deterministic: each C element accumulates its
+/// k-products in a fixed order that depends only on N and K blocking, so a
+/// row's result is bit-identical for any batch size (M) and thread count.
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b,
           float beta, float* c);
+
+/// gemm() with |op(A)| and/or |op(B)| applied on the fly during panel
+/// packing — the absolute-sensitivity pipeline's kernels (|W|ᵀ·s, s·|col|ᵀ)
+/// without materialising the absolute-value copies. Bitwise equal to taking
+/// the absolutes first and calling gemm().
+void gemm_abs(bool trans_a, bool trans_b, bool abs_a, bool abs_b,
+              std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// Kernel selection for gemm(). kReference is a frozen copy of the seed
+/// repository's streaming kernel (transposes materialised, per-element
+/// zero-skip, no blocking) kept as the A/B baseline for benchmarks and
+/// ablations; it is never optimised, and it also disables the im2col/col2im
+/// stride-1 fast paths so the whole seed execution path is reproduced.
+/// kBlocked is the production kernel.
+enum class GemmKernel { kBlocked, kReference };
+
+/// Process-wide kernel switch (benchmark/ablation use only; not synchronised
+/// with concurrently running GEMMs — flip it between passes, not during).
+void set_gemm_kernel(GemmKernel kernel);
+GemmKernel gemm_kernel();
 
 }  // namespace dnnv
 

@@ -1,8 +1,19 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/gemm.h"
 #include "util/error.h"
 
 namespace dnnv {
+namespace {
+
+/// The stride-1 memcpy/vector-add fast paths are part of the blocked engine;
+/// the reference engine (benchmark baseline) keeps the seed's branchy loops.
+bool use_fast_paths() { return gemm_kernel() == GemmKernel::kBlocked; }
+
+}  // namespace
 
 std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
                           std::int64_t stride, std::int64_t pad) {
@@ -25,6 +36,31 @@ void im2col(const float* image, std::int64_t channels, std::int64_t height,
     for (std::int64_t ky = 0; ky < kh; ++ky) {
       for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
         float* out_row = columns + row * out_plane;
+        // Stride-1 fast path: each output row is a contiguous slice of the
+        // image row framed by zero padding — one memcpy instead of a branch
+        // per element (im2col is bandwidth-bound and sits next to the GEMM
+        // on the conv hot path).
+        if (stride == 1 && use_fast_paths()) {
+          const std::int64_t x0 = std::max<std::int64_t>(0, pad - kx);
+          const std::int64_t x1 =
+              std::min<std::int64_t>(out_w, width + pad - kx);
+          for (std::int64_t oy = 0; oy < out_h; ++oy) {
+            float* dst = out_row + oy * out_w;
+            const std::int64_t iy = oy - pad + ky;
+            if (iy < 0 || iy >= height || x0 >= x1) {
+              std::memset(dst, 0, static_cast<std::size_t>(out_w) * sizeof(float));
+              continue;
+            }
+            if (x0 > 0) std::memset(dst, 0, static_cast<std::size_t>(x0) * sizeof(float));
+            std::memcpy(dst + x0, plane + iy * width + (x0 - pad + kx),
+                        static_cast<std::size_t>(x1 - x0) * sizeof(float));
+            if (x1 < out_w) {
+              std::memset(dst + x1, 0,
+                          static_cast<std::size_t>(out_w - x1) * sizeof(float));
+            }
+          }
+          continue;
+        }
         for (std::int64_t oy = 0; oy < out_h; ++oy) {
           const std::int64_t iy = oy * stride - pad + ky;
           if (iy < 0 || iy >= height) {
@@ -54,6 +90,22 @@ void col2im(const float* columns, std::int64_t channels, std::int64_t height,
     for (std::int64_t ky = 0; ky < kh; ++ky) {
       for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
         const float* in_row = columns + row * out_plane;
+        // Stride-1 fast path: the valid span is contiguous, so the scatter
+        // becomes a branch-free vector add (mirrors the im2col fast path).
+        if (stride == 1 && use_fast_paths()) {
+          const std::int64_t x0 = std::max<std::int64_t>(0, pad - kx);
+          const std::int64_t x1 =
+              std::min<std::int64_t>(out_w, width + pad - kx);
+          for (std::int64_t oy = 0; oy < out_h; ++oy) {
+            const std::int64_t iy = oy - pad + ky;
+            if (iy < 0 || iy >= height || x0 >= x1) continue;
+            float* dst = plane + iy * width + (x0 - pad + kx);
+            const float* src = in_row + oy * out_w + x0;
+            const std::int64_t len = x1 - x0;
+            for (std::int64_t i = 0; i < len; ++i) dst[i] += src[i];
+          }
+          continue;
+        }
         for (std::int64_t oy = 0; oy < out_h; ++oy) {
           const std::int64_t iy = oy * stride - pad + ky;
           if (iy < 0 || iy >= height) continue;

@@ -43,6 +43,11 @@ Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
   return t;
 }
 
+void Tensor::resize(Shape new_shape) {
+  shape_ = std::move(new_shape);
+  data_.resize(static_cast<std::size_t>(shape_.numel()));
+}
+
 std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> index) const {
   DNNV_CHECK(index.size() == shape_.ndim(),
              "index rank " << index.size() << " does not match shape "

@@ -54,6 +54,12 @@ class Tensor {
   /// Returns a copy with a new shape; numel must match.
   Tensor reshaped(Shape new_shape) const;
 
+  /// In-place reshape + storage resize (any element count). Existing storage
+  /// is reused whenever capacity allows — this is the primitive behind the
+  /// nn::Workspace buffer reuse. Contents are unspecified after a size
+  /// change; callers treat the tensor as scratch to be fully overwritten.
+  void resize(Shape new_shape);
+
   /// In-place fill.
   void fill(float value);
 

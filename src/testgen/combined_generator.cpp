@@ -2,12 +2,14 @@
 
 #include <queue>
 
+#include "tensor/batch.h"
 #include "util/error.h"
 
 namespace dnnv::testgen {
 
 CombinedGenerator::CombinedGenerator(Options options) : options_(options) {
   DNNV_CHECK(options_.max_tests >= 0, "negative test budget");
+  DNNV_CHECK(options_.probe_refresh > 0, "probe_refresh must be positive");
 }
 
 GenerationResult CombinedGenerator::generate(
@@ -63,9 +65,8 @@ GenerationResult CombinedGenerator::generate(
   // Cached probe batch from Algorithm 2 (inputs + activation masks on the
   // true model). Synthesis targets the CURRENT un-activated set (masked
   // model), so a cached probe goes stale as greedy picks grow the covered
-  // set — it is regenerated after every kProbeRefresh greedy commits, not
-  // only when committed.
-  constexpr int kProbeRefresh = 8;
+  // set — it is regenerated after every options_.probe_refresh greedy
+  // commits, not only when committed.
   std::vector<Tensor> probe_inputs;
   std::vector<DynamicBitset> probe_masks;
   int synth_batches = 0;
@@ -75,14 +76,17 @@ GenerationResult CombinedGenerator::generate(
         options_.gradient.mask_activated
             ? GradientGenerator::masked_model(model, accumulator.covered())
             : model.clone();
-    probe_inputs = gradient.generate_batch(loss_model, item_shape, num_classes,
-                                           synth_batches, rng);
+    const Tensor probe_batch = gradient.generate_batch_tensor(
+        loss_model, item_shape, num_classes, synth_batches, rng);
     ++synth_batches;
     commits_since_probe = 0;
-    probe_masks.clear();
-    for (const auto& input : probe_inputs) {
-      probe_masks.push_back(coverage.activation_mask(input));
+    probe_inputs.clear();
+    for (std::int64_t i = 0; i < probe_batch.shape()[0]; ++i) {
+      probe_inputs.push_back(slice_batch(probe_batch, i));
     }
+    // Probe masks ride the batched engine: one batched forward on the true
+    // model instead of a forward per probe input.
+    probe_masks = coverage.activation_masks_batched(probe_batch);
   };
   auto probe_gain_per_test = [&]() -> double {
     DynamicBitset joint = accumulator.covered();
@@ -115,15 +119,20 @@ GenerationResult CombinedGenerator::generate(
       continue;
     }
     const auto [greedy_index, greedy_gain] = best_greedy();
-    if (probe_inputs.empty() || commits_since_probe >= kProbeRefresh) {
-      make_probe();
-    }
+    const bool refreshed =
+        probe_inputs.empty() || commits_since_probe >= options_.probe_refresh;
+    if (refreshed) make_probe();
     const double synth_gain = probe_gain_per_test();
 
     // §IV-D switch rule: move to Algorithm 2 when its per-test coverage gain
     // exceeds Algorithm 1's next pick.
-    if (greedy_index == SIZE_MAX ||
-        synth_gain > static_cast<double>(greedy_gain)) {
+    const bool choose_synth = greedy_index == SIZE_MAX ||
+                              synth_gain > static_cast<double>(greedy_gain);
+    result.decisions.push_back(
+        {result.tests.size(),
+         greedy_index == SIZE_MAX ? 0.0 : static_cast<double>(greedy_gain),
+         synth_gain, choose_synth, refreshed});
+    if (choose_synth) {
       commit_probe();
       if (options_.policy == SwitchPolicy::kSwitchOnce) switched = true;
       continue;

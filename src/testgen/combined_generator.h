@@ -26,6 +26,11 @@ class CombinedGenerator {
   struct Options {
     int max_tests = 50;
     SwitchPolicy policy = SwitchPolicy::kSwitchOnce;
+    /// Greedy commits tolerated before the cached Algorithm 2 probe batch is
+    /// considered stale and regenerated against the grown covered set (the
+    /// probe targets the CURRENT un-activated parameters, so its gain decays
+    /// as greedy picks land).
+    int probe_refresh = 8;
     cov::CoverageConfig coverage;
     GradientGenerator::Options gradient;  ///< max_tests ignored (budget shared)
   };

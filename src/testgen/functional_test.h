@@ -24,12 +24,27 @@ struct FunctionalTest {
   std::int64_t pool_index = -1;
 };
 
+/// One producer-selection decision of the combined method (§IV-D): before
+/// emitting test `step`, the per-test gain of the cached Algorithm 2 probe
+/// batch is compared against the refreshed best marginal gain of
+/// Algorithm 1. Recorded by CombinedGenerator so the switch rule is
+/// observable (and testable) without re-running the generators.
+struct SwitchDecision {
+  std::size_t step = 0;          ///< index of the next test to be emitted
+  double greedy_gain = 0.0;      ///< Algorithm 1's provably-best next gain
+  double synthetic_gain = 0.0;   ///< Algorithm 2 probe per-test gain
+  bool chose_synthetic = false;  ///< true iff the rule picked Algorithm 2
+  bool probe_refreshed = false;  ///< probe was (re)generated for this step
+};
+
 /// Output of a generation run: the ordered tests plus the coverage
 /// trajectory (VC(X) after each test) — the series plotted in Fig 3.
 struct GenerationResult {
   std::vector<FunctionalTest> tests;
   std::vector<double> coverage_after;
   double final_coverage = 0.0;
+  /// §IV-D decision trace (CombinedGenerator only; empty otherwise).
+  std::vector<SwitchDecision> decisions;
 };
 
 }  // namespace dnnv::testgen

@@ -2,6 +2,7 @@
 
 #include "nn/activation_layer.h"
 #include "nn/loss.h"
+#include "nn/workspace.h"
 #include "tensor/batch.h"
 #include "util/error.h"
 
@@ -24,6 +25,20 @@ nn::Sequential GradientGenerator::masked_model(const nn::Sequential& model,
 std::vector<Tensor> GradientGenerator::generate_batch(
     nn::Sequential& loss_model, const Shape& item_shape, int num_classes,
     int batch_index, Rng& rng) const {
+  const Tensor batch =
+      generate_batch_tensor(loss_model, item_shape, num_classes, batch_index,
+                            rng);
+  std::vector<Tensor> tests;
+  tests.reserve(static_cast<std::size_t>(num_classes));
+  for (int i = 0; i < num_classes; ++i) tests.push_back(slice_batch(batch, i));
+  return tests;
+}
+
+Tensor GradientGenerator::generate_batch_tensor(nn::Sequential& loss_model,
+                                                const Shape& item_shape,
+                                                int num_classes,
+                                                int batch_index,
+                                                Rng& rng) const {
   DNNV_CHECK(num_classes > 1, "need at least two classes");
   if (options_.backward_leak != 0.0f) {
     for (std::size_t l = 0; l < loss_model.num_layers(); ++l) {
@@ -49,23 +64,22 @@ std::vector<Tensor> GradientGenerator::generate_batch(
 
   // Mean-reduced CE divides gradients by k; scale the step so learning_rate
   // acts on per-sample gradients (Algorithm 2 line 7 is per-sample).
+  // The descent runs on the workspace engine: activations and gradient
+  // buffers are allocated once and reused for all T steps.
+  nn::Workspace ws;
   const float step = options_.learning_rate * static_cast<float>(num_classes);
   for (int t = 0; t < options_.steps; ++t) {
-    const Tensor logits = loss_model.forward(batch);
+    const Tensor& logits = loss_model.forward(batch, ws);
     const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
     loss_model.zero_grads();
-    const Tensor grad_input = loss_model.backward(loss.grad_logits);
+    const Tensor& grad_input = loss_model.backward(loss.grad_logits, ws);
     for (std::int64_t i = 0; i < batch.numel(); ++i) {
       batch[i] -= step * grad_input[i];
     }
     clamp_(batch, options_.clamp_lo, options_.clamp_hi);
   }
   loss_model.zero_grads();
-
-  std::vector<Tensor> tests;
-  tests.reserve(static_cast<std::size_t>(num_classes));
-  for (int i = 0; i < num_classes; ++i) tests.push_back(slice_batch(batch, i));
-  return tests;
+  return batch;
 }
 
 GenerationResult GradientGenerator::generate(
@@ -83,14 +97,16 @@ GenerationResult GradientGenerator::generate(
         options_.mask_activated
             ? masked_model(model, accumulator.covered())
             : model.clone();
-    const auto batch = generate_batch(loss_model, item_shape, num_classes,
-                                      batch_index, rng);
-    for (const auto& input : batch) {
-      // Coverage is always measured on the TRUE model (Algorithm 2 validates
-      // against the IP that ships, not the masked scratch copy).
-      accumulator.add(coverage.activation_mask(input));
+    const Tensor batch = generate_batch_tensor(loss_model, item_shape,
+                                               num_classes, batch_index, rng);
+    // Coverage is always measured on the TRUE model (Algorithm 2 validates
+    // against the IP that ships, not the masked scratch copy) — one batched
+    // forward for the whole synthetic batch.
+    auto masks = coverage.activation_masks_batched(batch);
+    for (int i = 0; i < num_classes; ++i) {
+      accumulator.add(masks[static_cast<std::size_t>(i)]);
       FunctionalTest test;
-      test.input = input;
+      test.input = slice_batch(batch, i);
       test.source = TestSource::kSynthetic;
       result.tests.push_back(std::move(test));
       result.coverage_after.push_back(accumulator.coverage());

@@ -65,6 +65,14 @@ class GradientGenerator {
                                      const Shape& item_shape, int num_classes,
                                      int batch_index, Rng& rng) const;
 
+  /// Batch-tensor variant of generate_batch: returns the synthesised
+  /// [k, item...] tensor un-sliced, ready for the batched coverage engine.
+  /// The descent loop itself runs on the workspace engine (no per-step
+  /// allocations).
+  Tensor generate_batch_tensor(nn::Sequential& loss_model,
+                               const Shape& item_shape, int num_classes,
+                               int batch_index, Rng& rng) const;
+
   /// Builds the masked loss model: a clone of `model` with covered
   /// parameters set to zero.
   static nn::Sequential masked_model(const nn::Sequential& model,

@@ -93,6 +93,17 @@ std::vector<std::size_t> DynamicBitset::set_bits() const {
   return bits;
 }
 
+void DynamicBitset::or_words(const std::uint64_t* raw,
+                             std::size_t word_count) {
+  DNNV_CHECK(word_count == words_.size(),
+             "word count " << word_count << " inconsistent with size " << size_);
+  for (std::size_t i = 0; i < word_count; ++i) words_[i] |= raw[i];
+  if (size_ % 64 != 0 && !words_.empty()) {
+    // Mask stray bits beyond `size` so count()/equality stay canonical.
+    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
 DynamicBitset DynamicBitset::from_words(std::vector<std::uint64_t> words,
                                         std::size_t size) {
   DNNV_CHECK(words.size() == (size + 63) / 64,

@@ -70,6 +70,12 @@ class DynamicBitset {
   static DynamicBitset from_words(std::vector<std::uint64_t> words,
                                   std::size_t size);
 
+  /// ORs raw words into this bitset — the word-level counterpart of
+  /// operator|= for staging buffers built outside a DynamicBitset (the
+  /// coverage engine's branch-free mask packing). `word_count` must equal
+  /// words().size(); bits past size() in the last word must be clear.
+  void or_words(const std::uint64_t* raw, std::size_t word_count);
+
  private:
   void check_same_size(const DynamicBitset& other) const;
 

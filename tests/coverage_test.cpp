@@ -2,14 +2,18 @@
 // equivalence of the two engines, accumulator algebra and neuron coverage.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "coverage/accumulator.h"
 #include "coverage/neuron_coverage.h"
 #include "coverage/parameter_coverage.h"
 #include "coverage/report.h"
+#include "exp/model_zoo.h"
 #include "nn/activation_layer.h"
 #include "nn/builder.h"
 #include "nn/dense.h"
 #include "nn/sequential.h"
+#include "tensor/batch.h"
 #include "util/error.h"
 
 namespace dnnv::cov {
@@ -160,6 +164,57 @@ TEST(ParameterCoverageTest, ParallelMasksMatchSequential) {
   ParameterCoverage coverage(model, CoverageConfig{});
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     EXPECT_TRUE(parallel[i] == coverage.activation_mask(inputs[i])) << i;
+  }
+}
+
+// The tentpole guarantee of the batched engine: one batched forward plus
+// per-item sensitivity passes produces masks BIT-identical to the per-item
+// path, on both zoo models (Tanh CNN / ReLU CNN) at epsilon 0 and 1e-4.
+TEST(ParameterCoverageTest, BatchedMasksBitIdenticalToPerItemOnZooModels) {
+  exp::ZooOptions zoo;
+  zoo.tiny = true;
+  zoo.cache_dir =
+      (std::filesystem::temp_directory_path() / "dnnv_cov_test_zoo").string();
+  struct Case {
+    exp::TrainedModel trained;
+    data::MaterializedData pool;
+  };
+  std::vector<Case> cases;
+  cases.push_back({exp::mnist_tanh(zoo), exp::digits_test(40)});
+  cases.push_back({exp::cifar_relu(zoo), exp::shapes_test(40)});
+
+  for (auto& c : cases) {
+    for (const double epsilon : {0.0, 1e-4}) {
+      CoverageConfig config;
+      config.epsilon = epsilon;
+
+      // Per-item reference path.
+      nn::Sequential ref_model = c.trained.model.clone();
+      ParameterCoverage ref(ref_model, config);
+      std::vector<DynamicBitset> expected;
+      for (const auto& input : c.pool.images) {
+        expected.push_back(ref.activation_mask(input));
+      }
+
+      // Batched engine, driven directly...
+      nn::Sequential batch_model = c.trained.model.clone();
+      ParameterCoverage batched(batch_model, config);
+      const Tensor batch = stack_batch(c.pool.images);
+      const auto actual = batched.activation_masks_batched(batch);
+      ASSERT_EQ(actual.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(actual[i] == expected[i])
+            << c.trained.name << " eps=" << epsilon << " item " << i;
+      }
+
+      // ...and through the pool-level free function (chunked + threaded).
+      const auto pooled =
+          activation_masks(c.trained.model, c.pool.images, config);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(pooled[i] == expected[i])
+            << c.trained.name << " eps=" << epsilon << " pooled item " << i;
+      }
+    }
   }
 }
 

@@ -175,6 +175,114 @@ INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
                                            std::pair{true, false},
                                            std::pair{true, true}));
 
+namespace {
+
+/// Naive triple-loop reference for the blocked kernel's property tests.
+void gemm_reference(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a, const float* b,
+                    float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+}  // namespace
+
+// Exhaustive property test over the blocked kernel: all four transpose
+// combinations x beta in {0, 1, 0.5}, at sizes straddling the micro/macro
+// tile boundaries so the padded edge paths are exercised.
+TEST(GemmTest, BlockedKernelMatchesReferenceAcrossTransAndBeta) {
+  Rng rng(23);
+  const std::int64_t sizes[][3] = {
+      {1, 1, 1},  {3, 5, 2},  {4, 32, 7},  {5, 33, 9}, {64, 64, 64},
+      {65, 37, 70}, {7, 130, 300},
+  };
+  for (const auto& dims : sizes) {
+    const std::int64_t m = dims[0], n = dims[1], k = dims[2];
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    for (const bool trans_a : {false, true}) {
+      for (const bool trans_b : {false, true}) {
+        for (const float beta : {0.0f, 1.0f, 0.5f}) {
+          std::vector<float> c(static_cast<std::size_t>(m * n));
+          for (auto& v : c) v = static_cast<float>(rng.normal());
+          std::vector<float> expect = c;
+          gemm_reference(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(),
+                         beta, expect.data());
+          gemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), beta,
+               c.data());
+          for (std::int64_t i = 0; i < m * n; ++i) {
+            ASSERT_NEAR(c[static_cast<std::size_t>(i)],
+                        expect[static_cast<std::size_t>(i)],
+                        1e-3f * (1.0f + std::fabs(expect[static_cast<std::size_t>(i)])))
+                << "m=" << m << " n=" << n << " k=" << k
+                << " trans_a=" << trans_a << " trans_b=" << trans_b
+                << " beta=" << beta << " at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, DegenerateDimsTakeEarlyExit) {
+  // m == 0: no output elements; the call must not touch c at all.
+  float sentinel[4] = {9, 9, 9, 9};
+  gemm(false, false, 0, 2, 3, 1.0f, nullptr, nullptr, 0.5f, sentinel);
+  for (const float v : sentinel) EXPECT_FLOAT_EQ(v, 9.0f);
+
+  // k == 0: the product is the zero matrix, so C = beta * C exactly.
+  float c0[4] = {2, 4, 6, 8};
+  gemm(false, false, 2, 2, 0, 1.0f, nullptr, nullptr, 0.5f, c0);
+  EXPECT_FLOAT_EQ(c0[0], 1.0f);
+  EXPECT_FLOAT_EQ(c0[3], 4.0f);
+
+  // k == 0 with beta == 0 zeroes C.
+  float c1[4] = {2, 4, 6, 8};
+  gemm(false, false, 2, 2, 0, 1.0f, nullptr, nullptr, 0.0f, c1);
+  for (const float v : c1) EXPECT_FLOAT_EQ(v, 0.0f);
+
+  // n == 0 and alpha == 0 also early-exit after the beta pass.
+  float c2[2] = {3, 5};
+  gemm(false, false, 1, 2, 4, 0.0f, nullptr, nullptr, 1.0f, c2);
+  EXPECT_FLOAT_EQ(c2[0], 3.0f);
+  EXPECT_FLOAT_EQ(c2[1], 5.0f);
+}
+
+// The batched coverage pipeline relies on row results being independent of
+// the batch size: computing rows one at a time (m == 1 calls) must be
+// bit-identical to one m == B call.
+TEST(GemmTest, RowResultsAreBatchSizeInvariant) {
+  Rng rng(31);
+  const std::int64_t m = 23, n = 130, k = 300;
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  std::vector<float> batched(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, batched.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::vector<float> row(static_cast<std::size_t>(n), 0.0f);
+    gemm(false, false, 1, n, k, 1.0f, a.data() + i * k, b.data(), 0.0f,
+         row.data());
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                batched[static_cast<std::size_t>(i * n + j)])
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
 // ---------- im2col ----------
 
 TEST(Im2colTest, OutDims) {

@@ -294,6 +294,98 @@ TEST(CombinedGeneratorTest, SwitchesToSyntheticWhenPoolExhausted) {
   EXPECT_EQ(synthetic, 8);
 }
 
+// Satellite check for the §IV-D machinery: replay the recorded decision
+// trace of a deterministic run and verify (a) the lazy-greedy heap reported
+// exactly the gain a naive full rescan would (staleness handled), (b) the
+// probe batch was regenerated exactly on the probe_refresh cadence, and
+// (c) the switch rule fired exactly when the synthetic per-test gain
+// exceeded the next greedy gain — never before.
+TEST(CombinedGeneratorTest, DecisionTraceVerifiesSwitchRuleAndProbeStaleness) {
+  Sequential model = small_relu_net(101);
+  // Small pool + larger budget: greedy gains decay as masks overlap, so the
+  // run provably ends in Algorithm 2 (organically or at pool exhaustion).
+  const auto pool = random_pool(8, 102);
+  const auto universe = static_cast<std::size_t>(model.param_count());
+  const auto masks = cov::activation_masks(model, pool, cov::CoverageConfig{});
+
+  cov::CoverageAccumulator acc(universe);
+  CombinedGenerator::Options options;
+  options.max_tests = 16;
+  options.probe_refresh = 3;  // tight cadence so staleness logic is exercised
+  options.gradient.steps = 15;
+  const auto result =
+      CombinedGenerator(options).generate(model, pool, masks, Shape{6}, 4, acc);
+  ASSERT_FALSE(result.decisions.empty());
+
+  // Replay state: the covered set and pool usage as of each decision.
+  Sequential mask_model = model.clone();
+  cov::ParameterCoverage coverage(mask_model, cov::CoverageConfig{});
+  DynamicBitset covered(universe);
+  std::vector<bool> used(pool.size(), false);
+  std::size_t test_idx = 0;
+  int commits_since_probe = 0;
+  bool have_probe = false;
+
+  auto consume_tests_until = [&](std::size_t stop) {
+    for (; test_idx < stop && test_idx < result.tests.size(); ++test_idx) {
+      const auto& test = result.tests[test_idx];
+      if (test.source == TestSource::kTrainingSample) {
+        ASSERT_GE(test.pool_index, 0);
+        covered |= masks[static_cast<std::size_t>(test.pool_index)];
+        used[static_cast<std::size_t>(test.pool_index)] = true;
+        ++commits_since_probe;
+      } else {
+        covered |= coverage.activation_mask(test.input);
+      }
+    }
+  };
+
+  for (std::size_t di = 0; di < result.decisions.size(); ++di) {
+    const auto& d = result.decisions[di];
+    consume_tests_until(d.step);
+    ASSERT_EQ(test_idx, d.step);
+
+    // (b) staleness cadence: refresh iff no probe yet or probe_refresh
+    // greedy commits landed since the last refresh.
+    EXPECT_EQ(d.probe_refreshed,
+              !have_probe || commits_since_probe >= options.probe_refresh)
+        << "decision " << di;
+    if (d.probe_refreshed) {
+      have_probe = true;
+      commits_since_probe = 0;
+    }
+
+    // (a) lazy-greedy == naive full rescan on the replayed covered set.
+    std::size_t naive_best = 0;
+    bool pool_left = false;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      pool_left = true;
+      naive_best = std::max(naive_best, covered.count_new_bits(masks[i]));
+    }
+    if (pool_left) {
+      EXPECT_DOUBLE_EQ(d.greedy_gain, static_cast<double>(naive_best))
+          << "decision " << di;
+    }
+
+    // (c) the switch rule, exactly.
+    EXPECT_EQ(d.chose_synthetic,
+              !pool_left || d.synthetic_gain > d.greedy_gain)
+        << "decision " << di;
+
+    // kSwitchOnce: the first synthetic choice ends the decision trace.
+    if (d.chose_synthetic) EXPECT_EQ(di, result.decisions.size() - 1);
+  }
+
+  // The run must have exercised both producers for the assertions above to
+  // mean anything.
+  EXPECT_GT(result.decisions.size(), 1u);
+  EXPECT_TRUE(result.decisions.back().chose_synthetic);
+  for (std::size_t di = 0; di + 1 < result.decisions.size(); ++di) {
+    EXPECT_FALSE(result.decisions[di].chose_synthetic);
+  }
+}
+
 // ---------- NeuronCoverageSelector / RandomSelector ----------
 
 TEST(NeuronSelectorTest, SelectsBudgetAndSaturates) {

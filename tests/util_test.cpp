@@ -434,6 +434,46 @@ TEST(ThreadPoolTest, PropagatesTaskException) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(ThreadPoolTest, ThrowingParallelForBodyRethrowsAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  // A throwing body is captured by the worker and rethrown from wait_all()
+  // (which parallel_for calls internally).
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 17) throw Error("body boom");
+                                 }),
+               Error);
+  // The error slot must be cleared: the pool runs new work and completes it.
+  std::vector<int> hits(128, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  // Outer level uses the pool; the inner call happens on a worker thread and
+  // must fall back to inline execution instead of waiting on itself.
+  pool.parallel_for(4, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total, 32);
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolTest, ChunkedDispatchCoversLargeSparseCounts) {
+  ThreadPool pool(4);
+  // Counts that do not divide evenly by num_threads * 4 must still cover
+  // every index exactly once.
+  for (const std::size_t count : {2u, 15u, 16u, 17u, 1001u}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
 TEST(ThreadPoolTest, ZeroAndOneCountFastPaths) {
   ThreadPool pool(4);
   int calls = 0;
