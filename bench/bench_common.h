@@ -2,13 +2,24 @@
 #ifndef DNNV_BENCH_BENCH_COMMON_H_
 #define DNNV_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "exp/model_zoo.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 namespace dnnv::bench {
+
+/// Uniform int8 codes over the quantized engine's [-127, 127] code range.
+inline std::vector<std::int8_t> random_int8_codes(std::int64_t count,
+                                                  Rng& rng) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(count));
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return v;
+}
 
 /// Standard zoo options for benches: cache under .cache/dnnv (or
 /// $DNNV_CACHE_DIR), training progress on stderr, paper-scale opt-in.

@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "coverage/parameter_coverage.h"
 #include "nn/builder.h"
+#include "quant/qgemm.h"
 #include "tensor/batch.h"
 #include "tensor/gemm.h"
 #include "util/rng.h"
@@ -26,12 +27,16 @@ double gflops(std::int64_t n, double seconds, int reps) {
 }
 
 void bench_gemm() {
-  std::cout << "\nGEMM n x n x n (seed reference kernel vs blocked packed kernel):\n";
+  std::cout << "\nGEMM n x n x n (seed reference kernel vs blocked packed kernel"
+               " vs int8 engine [" << quant::qgemm_kernel_name() << "]):\n";
   for (const std::int64_t n : {128, 256, 384}) {
     Rng rng(1);
     const Tensor a = Tensor::randn(Shape{n, n}, rng);
     const Tensor b = Tensor::randn(Shape{n, n}, rng);
     Tensor c(Shape{n, n});
+    const auto qa = bench::random_int8_codes(n * n, rng);
+    const auto qb = bench::random_int8_codes(n * n, rng);
+    std::vector<std::int32_t> qc(static_cast<std::size_t>(n * n));
     const int reps = n <= 128 ? 40 : 10;
 
     set_gemm_kernel(GemmKernel::kReference);
@@ -48,9 +53,17 @@ void bench_gemm() {
     }
     const double blocked_s = timer.elapsed_seconds();
 
+    timer.reset();
+    for (int r = 0; r < reps; ++r) {
+      quant::qgemm(n, n, n, qa.data(), qb.data(), qc.data());
+    }
+    const double int8_s = timer.elapsed_seconds();
+
     std::cout << "  n=" << n << ": seed " << gflops(n, seed_s, reps)
               << " GFLOP/s, blocked " << gflops(n, blocked_s, reps)
-              << " GFLOP/s, speedup " << seed_s / blocked_s << "x\n";
+              << " GFLOP/s, int8 " << gflops(n, int8_s, reps)
+              << " GOP/s; blocked vs seed " << seed_s / blocked_s
+              << "x, int8 vs blocked " << blocked_s / int8_s << "x\n";
   }
 }
 

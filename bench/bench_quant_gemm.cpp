@@ -1,0 +1,115 @@
+// Int8 vs float GEMM throughput — the quantized engine's speed claim.
+//
+// Measures the blocked int8 x int8 -> int32 kernel (quant::qgemm) against
+// the float blocked kernel (dnnv::gemm) and the frozen seed kernel at
+// square sizes, on one core (the shared pool still parallelises large
+// shapes identically for both, so the ratio is apples-to-apples). Also
+// cross-checks the int8 result against a naive reference on a subsample —
+// a throughput number from a wrong kernel is worthless.
+//
+// Usage: ./build/bench_quant_gemm [--sizes 128,256,384] [--reps 10]
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "quant/qgemm.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dnnv;
+
+double gops(std::int64_t n, double seconds, int reps) {
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(n) * reps / seconds / 1e9;
+}
+
+/// Spot-check a few int8 results against naive accumulation.
+bool verify_qgemm(std::int64_t n, const std::vector<std::int8_t>& a,
+                  const std::vector<std::int8_t>& b,
+                  const std::vector<std::int32_t>& c) {
+  Rng rng(99);
+  for (int probe = 0; probe < 64; ++probe) {
+    const auto i = static_cast<std::int64_t>(rng.uniform_u64(
+        static_cast<std::uint64_t>(n)));
+    const auto j = static_cast<std::int64_t>(rng.uniform_u64(
+        static_cast<std::uint64_t>(n)));
+    std::int32_t acc = 0;
+    for (std::int64_t p = 0; p < n; ++p) {
+      acc += static_cast<std::int32_t>(a[static_cast<std::size_t>(i * n + p)]) *
+             static_cast<std::int32_t>(b[static_cast<std::size_t>(p * n + j)]);
+    }
+    if (acc != c[static_cast<std::size_t>(i * n + j)]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"sizes", "reps"});
+  bench::banner("bench_quant_gemm",
+                "int8 quantized MAC datapath vs float engine (GEMM core)");
+  std::cout << "int8 micro-kernel: " << quant::qgemm_kernel_name() << "\n\n";
+
+  std::vector<std::int64_t> sizes = {128, 256, 384};
+  if (const std::string s = args.get_string("sizes", ""); !s.empty()) {
+    sizes.clear();
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) sizes.push_back(std::atoll(item.c_str()));
+  }
+  const int default_reps = args.get_int("reps", 0);
+
+  bool all_ok = true;
+  for (const std::int64_t n : sizes) {
+    const int reps = default_reps > 0 ? default_reps : (n <= 128 ? 40 : 10);
+    Rng rng(1);
+    const Tensor fa = Tensor::randn(Shape{n, n}, rng);
+    const Tensor fb = Tensor::randn(Shape{n, n}, rng);
+    Tensor fc(Shape{n, n});
+    const auto qa = bench::random_int8_codes(n * n, rng);
+    const auto qb = bench::random_int8_codes(n * n, rng);
+    std::vector<std::int32_t> qc(static_cast<std::size_t>(n * n));
+
+    set_gemm_kernel(GemmKernel::kReference);
+    Stopwatch timer;
+    for (int r = 0; r < reps; ++r) {
+      gemm(false, false, n, n, n, 1.0f, fa.data(), fb.data(), 0.0f, fc.data());
+    }
+    const double seed_s = timer.elapsed_seconds();
+
+    set_gemm_kernel(GemmKernel::kBlocked);
+    timer.reset();
+    for (int r = 0; r < reps; ++r) {
+      gemm(false, false, n, n, n, 1.0f, fa.data(), fb.data(), 0.0f, fc.data());
+    }
+    const double float_s = timer.elapsed_seconds();
+
+    quant::qgemm(n, n, n, qa.data(), qb.data(), qc.data());  // warmup
+    timer.reset();
+    for (int r = 0; r < reps; ++r) {
+      quant::qgemm(n, n, n, qa.data(), qb.data(), qc.data());
+    }
+    const double int8_s = timer.elapsed_seconds();
+    const bool ok = verify_qgemm(n, qa, qb, qc);
+    all_ok = all_ok && ok;
+
+    std::cout << "  n=" << n << ": seed " << gops(n, seed_s, reps)
+              << " GFLOP/s, float blocked " << gops(n, float_s, reps)
+              << " GFLOP/s, int8 " << gops(n, int8_s, reps)
+              << " GOP/s  |  int8 vs float " << float_s / int8_s
+              << "x, int8 vs seed " << seed_s / int8_s << "x"
+              << (ok ? "" : "  [VERIFY FAILED]") << "\n";
+  }
+  if (!all_ok) {
+    std::cerr << "int8 kernel verification FAILED\n";
+    return 1;
+  }
+  return 0;
+}

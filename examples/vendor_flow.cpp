@@ -12,6 +12,8 @@
 #include "coverage/parameter_coverage.h"
 #include "coverage/report.h"
 #include "exp/model_zoo.h"
+#include "quant/quant_model.h"
+#include "tensor/batch.h"
 #include "testgen/combined_generator.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -79,9 +81,37 @@ int main(int argc, char** argv) {
   const std::string model_path = out_dir + "/ip_model.dnnv";
   trained.model.save_file(model_path);
 
+  // ---- Quantized deliverable: the int8 artifact a hardware IP ships ----
+  // Calibrate on the training pool, qualify the suite against the int8
+  // engine's OWN outputs (the user validates the artifact, not the float
+  // master), and package the quantized model with its CRC-protected format.
+  std::cout << "\nquantizing for the int8 IP deliverable...\n";
+  auto qmodel = quant::QuantModel::quantize(trained.model, pool.images);
+  std::cout << "  " << qmodel.summary() << "\n";
+  std::vector<Tensor> suite_inputs;
+  for (const auto& test : tests.tests) suite_inputs.push_back(test.input);
+  const auto int8_golden = qmodel.predict_labels(stack_batch(suite_inputs));
+  int backend_agrees = 0;
+  for (std::size_t i = 0; i < suite_inputs.size(); ++i) {
+    backend_agrees += int8_golden[i] == suite.golden_labels()[i];
+  }
+  std::cout << "  int8 backend agrees with float golden on " << backend_agrees
+            << "/" << suite_inputs.size()
+            << " tests; analytic logit error bound "
+            << qmodel.logit_error_bound() << "\n";
+  auto quant_suite = validate::TestSuite::from_labels(suite_inputs, int8_golden);
+  const std::string quant_package_path = out_dir + "/functional_tests_int8.pkg";
+  quant_suite.save_package(quant_package_path, key);
+  const std::string quant_model_path = out_dir + "/ip_model_int8.dqm8";
+  qmodel.save_file(quant_model_path);
+
   std::cout << "\nrelease artifacts:\n"
             << "  " << package_path << "  (encrypted tests + golden outputs)\n"
             << "  " << model_path << "    (the IP itself — ships as a black box)\n"
+            << "  " << quant_package_path
+            << "  (suite qualified on the int8 engine)\n"
+            << "  " << quant_model_path
+            << "  (int8 weights + fixed-point requant, CRC-32 footer)\n"
             << "share the package key with licensed users: " << key << "\n";
   return 0;
 }

@@ -5,11 +5,37 @@
 
 #include "tensor/batch.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace dnnv::ip {
+namespace {
+
+/// Deterministic fallback calibration pool: half image-like ([0,1]) and half
+/// signed ([-1,1]) uniform inputs, so min/max ranges cover both input
+/// domains when the caller has no representative data at hand.
+std::vector<Tensor> default_calibration(const Shape& item_shape) {
+  Rng rng(0xCA11B8A7E);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(Tensor::rand_uniform(item_shape, rng, 0.0f, 1.0f));
+  }
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(Tensor::rand_uniform(item_shape, rng, -1.0f, 1.0f));
+  }
+  return pool;
+}
+
+}  // namespace
 
 QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape)
-    : model_(model.clone()), item_shape_(std::move(item_shape)) {
+    : QuantizedIp(model, item_shape, default_calibration(item_shape)) {}
+
+QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape,
+                         const std::vector<Tensor>& calibration,
+                         const quant::QuantConfig& config, QuantBackend backend)
+    : model_(model.clone()),
+      item_shape_(std::move(item_shape)),
+      backend_(backend) {
   std::vector<std::int64_t> dims;
   dims.push_back(1);
   dims.insert(dims.end(), item_shape_.dims().begin(), item_shape_.dims().end());
@@ -17,61 +43,87 @@ QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape)
   DNNV_CHECK(out.ndim() == 2, "IP model must produce [N, k] logits");
   num_classes_ = static_cast<int>(out[1]);
 
-  // Quantise per parameter tensor: scale = max|w| / 127.
-  const auto views = model_.param_views();
+  qmodel_ = quant::QuantModel::quantize(model_, calibration, config);
+
+  // The weight memory IS the QuantModel's code store, flattened in float
+  // param order (weights before bias per layer); one byte per parameter.
+  original_params_.reserve(static_cast<std::size_t>(model_.param_count()));
+  for (const auto& view : model_.param_views()) {
+    for (std::int64_t i = 0; i < view.size; ++i) {
+      original_params_.push_back(view.data[i]);
+    }
+  }
   std::size_t offset = 0;
-  for (const auto& view : views) {
+  for (const auto& view : qmodel_.param_views()) {
     QuantTensorInfo info;
     info.memory_offset = offset;
     info.size = view.size;
-    float max_abs = 0.0f;
+    info.per_channel = view.per_channel;
+    info.channel_scales = view.scales;
+    info.scale = *std::max_element(view.scales.begin(), view.scales.end());
+    table_.push_back(std::move(info));
     for (std::int64_t i = 0; i < view.size; ++i) {
-      max_abs = std::max(max_abs, std::fabs(view.data[i]));
+      memory_.push_back(static_cast<std::uint8_t>(view.codes[i]));
     }
-    info.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-    table_.push_back(info);
     offset += static_cast<std::size_t>(view.size);
   }
-  memory_.resize(offset);
-  original_params_.reserve(offset);
-  std::size_t address = 0;
-  std::size_t tensor = 0;
-  for (const auto& view : views) {
-    const float scale = table_[tensor++].scale;
-    for (std::int64_t i = 0; i < view.size; ++i, ++address) {
-      original_params_.push_back(view.data[i]);
-      const int q = std::clamp(
-          static_cast<int>(std::lround(view.data[i] / scale)), -127, 127);
-      memory_[address] = static_cast<std::uint8_t>(static_cast<std::int8_t>(q));
-    }
-  }
-  refresh_if_dirty();
+  DNNV_CHECK(memory_.size() ==
+                 static_cast<std::size_t>(model_.param_count()),
+             "weight memory does not cover every parameter");
+  refresh_quant_if_dirty();
+  refresh_float_if_dirty();
 }
 
-void QuantizedIp::refresh_if_dirty() {
-  if (!dirty_) return;
+void QuantizedIp::refresh_quant_if_dirty() {
+  if (!quant_dirty_) return;
+  // Memory bytes -> QuantModel codes, then rebuild the derived execution
+  // state (transposed panels, int32 biases, requant multipliers).
+  std::size_t address = 0;
+  for (auto& view : qmodel_.param_views()) {
+    for (std::int64_t i = 0; i < view.size; ++i, ++address) {
+      view.codes[i] = static_cast<std::int8_t>(memory_[address]);
+    }
+  }
+  qmodel_.refresh_derived();
+  quant_dirty_ = false;
+}
+
+void QuantizedIp::refresh_float_if_dirty() {
+  if (!float_dirty_) return;
+  // Memory bytes -> dequantised float model (the kDequantFloat backend),
+  // each code scaled with its channel's scale.
   std::size_t address = 0;
   std::size_t tensor = 0;
   for (const auto& view : model_.param_views()) {
-    const float scale = table_[tensor++].scale;
+    const QuantTensorInfo& info = table_[tensor++];
     for (std::int64_t i = 0; i < view.size; ++i, ++address) {
+      const float scale =
+          info.channel_scales[static_cast<std::size_t>(i / info.per_channel)];
       view.data[i] =
           scale * static_cast<float>(static_cast<std::int8_t>(memory_[address]));
     }
   }
-  dirty_ = false;
+  float_dirty_ = false;
 }
 
 int QuantizedIp::predict(const Tensor& input) {
   DNNV_CHECK(input.shape() == item_shape_,
              "input shape " << input.shape() << " != IP input " << item_shape_);
-  refresh_if_dirty();
+  if (backend_ == QuantBackend::kInt8) {
+    refresh_quant_if_dirty();
+    return qmodel_.predict_labels(stack_batch({input})).front();
+  }
+  refresh_float_if_dirty();
   return model_.predict_label(input);
 }
 
 std::vector<int> QuantizedIp::predict_all(const std::vector<Tensor>& inputs) {
   if (inputs.empty()) return {};
-  refresh_if_dirty();
+  if (backend_ == QuantBackend::kInt8) {
+    refresh_quant_if_dirty();
+    return qmodel_.predict_labels(stack_batch(inputs));
+  }
+  refresh_float_if_dirty();
   return model_.predict_labels(stack_batch(inputs));
 }
 
@@ -83,40 +135,54 @@ std::uint8_t QuantizedIp::read_byte(std::size_t address) const {
 void QuantizedIp::write_byte(std::size_t address, std::uint8_t value) {
   DNNV_CHECK(address < memory_.size(), "address " << address << " out of range");
   memory_[address] = value;
-  dirty_ = true;
+  quant_dirty_ = true;
+  float_dirty_ = true;
 }
 
 void QuantizedIp::flip_bit(std::size_t address, int bit) {
   DNNV_CHECK(address < memory_.size(), "address " << address << " out of range");
   DNNV_CHECK(bit >= 0 && bit < 8, "bit index " << bit << " out of range");
   memory_[address] ^= static_cast<std::uint8_t>(1u << bit);
-  dirty_ = true;
+  quant_dirty_ = true;
+  float_dirty_ = true;
 }
 
 float QuantizedIp::max_quantization_error() const {
   float max_err = 0.0f;
   std::size_t address = 0;
-  std::size_t tensor = 0;
   // NOTE: compares against the float snapshot taken at construction, so it
   // reports quantisation error only while the memory is unfaulted.
   for (const auto& info : table_) {
-    (void)info;
-    const float scale = table_[tensor].scale;
-    for (std::int64_t i = 0; i < table_[tensor].size; ++i, ++address) {
+    for (std::int64_t i = 0; i < info.size; ++i, ++address) {
+      const float scale =
+          info.channel_scales[static_cast<std::size_t>(i / info.per_channel)];
       const float dequant =
           scale * static_cast<float>(static_cast<std::int8_t>(memory_[address]));
       max_err = std::max(max_err,
                          std::fabs(dequant - original_params_[address]));
     }
-    ++tensor;
   }
   return max_err;
 }
 
 float QuantizedIp::quantization_error_bound() const {
   float bound = 0.0f;
-  for (const auto& info : table_) bound = std::max(bound, info.scale * 0.5f);
+  for (const auto& info : table_) {
+    for (const float scale : info.channel_scales) {
+      bound = std::max(bound, scale * 0.5f);
+    }
+  }
   return bound;
+}
+
+const quant::QuantModel& QuantizedIp::quant_model() {
+  refresh_quant_if_dirty();
+  return qmodel_;
+}
+
+nn::Sequential& QuantizedIp::reference_model() {
+  refresh_float_if_dirty();
+  return model_;
 }
 
 }  // namespace dnnv::ip

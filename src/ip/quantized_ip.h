@@ -3,9 +3,13 @@
 // DNN IPs ship as hardware accelerators whose quantised weights live in
 // off-chip memory — exactly the surface the paper's threat model attacks
 // (reverse-engineer the memory layout, substitute parameters). QuantizedIp
-// simulates that deployment: parameters are symmetric-per-tensor int8 values
-// in a flat byte buffer, and fault injection (bit flips, stuck-at, byte
-// writes) acts on the BUFFER, with inference reading through it.
+// simulates that deployment: parameters are symmetric int8 codes in a flat
+// byte buffer, fault injection (bit flips, stuck-at, byte writes) acts on
+// the BUFFER, and inference executes the codes on the quant:: integer
+// engine — int8 GEMMs, int32 accumulators, fixed-point requantisation —
+// the arithmetic a real IP performs. The pre-refactor behaviour
+// (dequantise to float, run the float engine) remains selectable as
+// QuantBackend::kDequantFloat for A/B comparisons.
 #ifndef DNNV_IP_QUANTIZED_IP_H_
 #define DNNV_IP_QUANTIZED_IP_H_
 
@@ -14,28 +18,50 @@
 
 #include "ip/black_box_ip.h"
 #include "nn/sequential.h"
+#include "quant/quant_model.h"
 
 namespace dnnv::ip {
 
-/// Per-tensor symmetric int8 quantisation parameters.
+/// Which engine executes the weight memory.
+enum class QuantBackend {
+  kInt8,         ///< quant::QuantModel integer engine (the default)
+  kDequantFloat  ///< dequantise codes to float, run the float engine
+};
+
+/// Quantisation parameters of one tensor in the weight memory. Weights may
+/// carry per-channel scales; `scale` keeps the per-tensor summary (the max
+/// over channels) for error-bound style uses.
 struct QuantTensorInfo {
   std::size_t memory_offset = 0;  ///< byte offset in the weight memory
   std::int64_t size = 0;          ///< scalar count
-  float scale = 1.0f;             ///< dequant: value = scale * int8
+  float scale = 1.0f;             ///< max over channel_scales
+  std::int64_t per_channel = 0;   ///< codes per scale entry (== size if single)
+  std::vector<float> channel_scales;  ///< dequant: value = scale_c * int8
 };
 
-/// Black-box IP backed by an int8 weight memory. Inference dequantises the
-/// memory into an internal float model (refreshed lazily after memory
-/// writes), modelling an accelerator whose MAC datapath is exact but whose
-/// stored weights are 8-bit.
+/// Black-box IP backed by an int8 weight memory (one byte per parameter,
+/// biases included). Memory writes invalidate the execution state; the next
+/// inference re-derives the engine's buffers from the bytes.
 class QuantizedIp : public BlackBoxIp {
  public:
+  /// Quantises with a built-in deterministic calibration pool (uniform
+  /// random inputs over [0,1] and [-1,1]) — convenient for unit-scale
+  /// models. Production flows should pass a representative pool.
   QuantizedIp(const nn::Sequential& model, Shape item_shape);
+
+  /// Quantises with a caller-provided calibration pool and config.
+  QuantizedIp(const nn::Sequential& model, Shape item_shape,
+              const std::vector<Tensor>& calibration,
+              const quant::QuantConfig& config = {},
+              QuantBackend backend = QuantBackend::kInt8);
 
   int predict(const Tensor& input) override;
   std::vector<int> predict_all(const std::vector<Tensor>& inputs) override;
   Shape input_shape() const override { return item_shape_; }
   int num_classes() const override { return num_classes_; }
+
+  QuantBackend backend() const { return backend_; }
+  void set_backend(QuantBackend backend) { backend_ = backend; }
 
   // ---- Memory / fault-injection surface ----
 
@@ -54,22 +80,40 @@ class QuantizedIp : public BlackBoxIp {
   /// Per-tensor quantisation table (address layout documentation).
   const std::vector<QuantTensorInfo>& tensor_table() const { return table_; }
 
-  /// Max |float weight − dequantised weight| over all parameters.
+  /// Max |float weight − dequantised weight| over all parameters, each code
+  /// dequantised with ITS OWN channel scale.
   float max_quantization_error() const;
 
-  /// Worst-case |error| bound implied by the scales (scale/2 per tensor).
+  /// Worst-case |error| bound implied by the scales: max over every
+  /// channel of scale_c / 2 (per-channel aware).
   float quantization_error_bound() const;
 
- private:
-  void refresh_if_dirty();
+  // ---- Analysis hooks (vendor-side; not part of the black-box surface) ----
 
-  nn::Sequential model_;                 // dequantised compute model
+  /// The executed quantised model (current memory contents).
+  const quant::QuantModel& quant_model();
+
+  /// Float realization of the current memory (scale * int8 parameters) —
+  /// hand this to cov::ParameterCoverage / the generators so coverage and
+  /// suites target the weights the IP actually carries.
+  nn::Sequential& reference_model();
+
+ private:
+  // The two backends refresh independently so fault-injection sweeps under
+  // the default int8 backend never pay for the float mirror.
+  void refresh_quant_if_dirty();
+  void refresh_float_if_dirty();
+
+  nn::Sequential model_;                 // dequantised float-backend model
+  quant::QuantModel qmodel_;             // int8-backend executable
   std::vector<float> original_params_;   // pre-quantisation float snapshot
   Shape item_shape_;
   int num_classes_ = 0;
+  QuantBackend backend_ = QuantBackend::kInt8;
   std::vector<std::uint8_t> memory_;     // int8 two's complement per param
   std::vector<QuantTensorInfo> table_;
-  bool dirty_ = true;
+  bool quant_dirty_ = true;
+  bool float_dirty_ = true;
 };
 
 }  // namespace dnnv::ip

@@ -32,6 +32,9 @@ class MaxPool2d : public Layer {
   void save(ByteWriter& writer) const override;
   static std::unique_ptr<MaxPool2d> load(ByteReader& reader);
 
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
  private:
   Tensor route_back(const Tensor& upstream) const;
   void fill_forward(const Tensor& input, Tensor& output);

@@ -16,4 +16,18 @@ Tensor& Workspace::zeroed(std::size_t layer_index, int slot,
   return t;
 }
 
+std::vector<std::int8_t>& Workspace::i8_buffer(std::size_t layer_index,
+                                               int slot, std::size_t size) {
+  std::vector<std::int8_t>& buf = i8_buffers_[key(layer_index, slot)];
+  buf.resize(size);
+  return buf;
+}
+
+std::vector<std::int32_t>& Workspace::i32_buffer(std::size_t layer_index,
+                                                 int slot, std::size_t size) {
+  std::vector<std::int32_t>& buf = i32_buffers_[key(layer_index, slot)];
+  buf.resize(size);
+  return buf;
+}
+
 }  // namespace dnnv::nn

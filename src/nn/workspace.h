@@ -44,9 +44,27 @@ class Workspace {
   /// Like buffer(), but zero-filled (for accumulation targets, e.g. col2im).
   Tensor& zeroed(std::size_t layer_index, int slot, const Shape& shape);
 
+  // ---- Integer arenas (the quantized engine's buffers) ----
+  //
+  // Same reuse contract as buffer(): sized in place, contents unspecified,
+  // keyed by (layer index, slot) independently of the float buffers. The
+  // int8 engine (quant::QuantModel) keeps its activations, im2col columns
+  // and int32 accumulators here so a warmed-up quantized forward performs
+  // no allocations either.
+
+  /// int8 buffer for (layer_index, slot), resized to `size` elements.
+  std::vector<std::int8_t>& i8_buffer(std::size_t layer_index, int slot,
+                                      std::size_t size);
+
+  /// int32 buffer for (layer_index, slot), resized to `size` elements.
+  std::vector<std::int32_t>& i32_buffer(std::size_t layer_index, int slot,
+                                        std::size_t size);
+
   /// Drops every buffer (frees the storage).
   void clear() {
     buffers_.clear();
+    i8_buffers_.clear();
+    i32_buffers_.clear();
     shapes_.clear();
   }
 
@@ -61,6 +79,8 @@ class Workspace {
   }
 
   std::unordered_map<std::uint64_t, Tensor> buffers_;
+  std::unordered_map<std::uint64_t, std::vector<std::int8_t>> i8_buffers_;
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> i32_buffers_;
   std::vector<Shape> shapes_;
 };
 

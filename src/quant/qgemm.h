@@ -1,0 +1,30 @@
+// Blocked int8 x int8 -> int32 GEMM — the quantized engine's MAC datapath.
+#ifndef DNNV_QUANT_QGEMM_H_
+#define DNNV_QUANT_QGEMM_H_
+
+#include <cstdint>
+
+namespace dnnv::quant {
+
+/// C[M,N] (int32) = A[M,K] (int8) * B[K,N] (int8), all row-major, C
+/// overwritten. Same cache-blocking/packing/threading structure as the float
+/// dnnv::gemm (macro-tiles over packed micro-panels, M-dimension parallelism
+/// over ThreadPool::shared(), serial when nested in a pool worker). K is
+/// processed in quads so the micro-kernel maps onto AVX-512 VNNI vpdpbusd
+/// when available (int8 operands, exact int32 accumulation — no float, no
+/// saturating intermediates); the portable fallback runs the identical exact
+/// integer arithmetic, so results are bit-identical across kernels, batch
+/// sizes and thread counts by construction.
+///
+/// Overflow contract: k <= 65536 (checked), which keeps the unsigned-offset
+/// accumulation below 2^31 in the worst case.
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+           const std::int8_t* b, std::int32_t* c);
+
+/// Name of the compiled-in micro-kernel ("avx512-vnni" or "scalar") — benches
+/// report it so throughput numbers are interpretable.
+const char* qgemm_kernel_name();
+
+}  // namespace dnnv::quant
+
+#endif  // DNNV_QUANT_QGEMM_H_

@@ -1,0 +1,107 @@
+#include "quant/qops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "quant/quantize.h"
+#include "tensor/im2col.h"
+#include "util/error.h"
+
+namespace dnnv::quant {
+
+void im2col_s8(const std::int8_t* image, std::int64_t channels,
+               std::int64_t height, std::int64_t width, std::int64_t kh,
+               std::int64_t kw, std::int64_t stride, std::int64_t pad,
+               std::int8_t* columns) {
+  const std::int64_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::int64_t out_w = conv_out_dim(width, kw, stride, pad);
+  const std::int64_t out_plane = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const std::int8_t* plane = image + c * height * width;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx, ++row) {
+        std::int8_t* out_row = columns + row * out_plane;
+        if (stride == 1) {
+          const std::int64_t x0 = std::max<std::int64_t>(0, pad - kx);
+          const std::int64_t x1 =
+              std::min<std::int64_t>(out_w, width + pad - kx);
+          for (std::int64_t oy = 0; oy < out_h; ++oy) {
+            std::int8_t* dst = out_row + oy * out_w;
+            const std::int64_t iy = oy - pad + ky;
+            if (iy < 0 || iy >= height || x0 >= x1) {
+              std::memset(dst, 0, static_cast<std::size_t>(out_w));
+              continue;
+            }
+            if (x0 > 0) std::memset(dst, 0, static_cast<std::size_t>(x0));
+            std::memcpy(dst + x0, plane + iy * width + (x0 - pad + kx),
+                        static_cast<std::size_t>(x1 - x0));
+            if (x1 < out_w) {
+              std::memset(dst + x1, 0, static_cast<std::size_t>(out_w - x1));
+            }
+          }
+          continue;
+        }
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            const bool inside =
+                iy >= 0 && iy < height && ix >= 0 && ix < width;
+            out_row[oy * out_w + ox] =
+                inside ? plane[iy * width + ix] : std::int8_t{0};
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_s8(const std::int8_t* image, std::int64_t channels,
+                  std::int64_t height, std::int64_t width, std::int64_t kernel,
+                  std::int64_t stride, std::int8_t* output) {
+  const std::int64_t out_h = conv_out_dim(height, kernel, stride, 0);
+  const std::int64_t out_w = conv_out_dim(width, kernel, stride, 0);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const std::int8_t* plane = image + c * height * width;
+    std::int8_t* out_plane = output + c * out_h * out_w;
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        std::int8_t best = std::numeric_limits<std::int8_t>::min();
+        const std::int64_t y0 = oy * stride;
+        const std::int64_t x0 = ox * stride;
+        const std::int64_t y1 = std::min(y0 + kernel, height);
+        const std::int64_t x1 = std::min(x0 + kernel, width);
+        for (std::int64_t y = y0; y < y1; ++y) {
+          for (std::int64_t x = x0; x < x1; ++x) {
+            best = std::max(best, plane[y * width + x]);
+          }
+        }
+        out_plane[oy * out_w + ox] = best;
+      }
+    }
+  }
+}
+
+std::array<std::int8_t, 256> build_activation_lut(nn::ActivationKind kind,
+                                                  float in_scale,
+                                                  float out_scale) {
+  std::array<std::int8_t, 256> lut{};
+  for (int code = -128; code <= 127; ++code) {
+    const float x = in_scale * static_cast<float>(code);
+    const float y = nn::activate(kind, x);
+    lut[static_cast<std::uint8_t>(static_cast<std::int8_t>(code))] =
+        quantize_value(y, out_scale);
+  }
+  return lut;
+}
+
+void apply_lut(const std::array<std::int8_t, 256>& lut, const std::int8_t* in,
+               std::int64_t count, std::int8_t* out) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = lut[static_cast<std::uint8_t>(in[i])];
+  }
+}
+
+}  // namespace dnnv::quant

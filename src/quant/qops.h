@@ -1,0 +1,42 @@
+// Int8 layer kernels around the qgemm datapath: im2col lowering, max
+// pooling and LUT activations, all operating directly on int8 codes.
+#ifndef DNNV_QUANT_QOPS_H_
+#define DNNV_QUANT_QOPS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "nn/activation.h"
+
+namespace dnnv::quant {
+
+/// int8 counterpart of dnnv::im2col: unfolds one CHW int8 image into a
+/// [channels*kh*kw, out_h*out_w] column matrix. Padding taps read as code 0
+/// (exactly value 0 under symmetric quantization), with the stride-1
+/// memcpy fast path of the float engine.
+void im2col_s8(const std::int8_t* image, std::int64_t channels,
+               std::int64_t height, std::int64_t width, std::int64_t kh,
+               std::int64_t kw, std::int64_t stride, std::int64_t pad,
+               std::int8_t* columns);
+
+/// Max pooling over one CHW int8 image. Order-preserving, so pooling codes
+/// equals pooling values — the scale passes through unchanged.
+void maxpool2d_s8(const std::int8_t* image, std::int64_t channels,
+                  std::int64_t height, std::int64_t width, std::int64_t kernel,
+                  std::int64_t stride, std::int8_t* output);
+
+/// 256-entry code-to-code table for a nonlinearity between two activation
+/// grids: lut[uint8(q)] = sat8(round(f(in_scale * q) / out_scale)). The whole
+/// activation layer becomes one table lookup per element — exact by
+/// construction for every representable input code.
+std::array<std::int8_t, 256> build_activation_lut(nn::ActivationKind kind,
+                                                  float in_scale,
+                                                  float out_scale);
+
+/// Applies a LUT elementwise (in place allowed).
+void apply_lut(const std::array<std::int8_t, 256>& lut, const std::int8_t* in,
+               std::int64_t count, std::int8_t* out);
+
+}  // namespace dnnv::quant
+
+#endif  // DNNV_QUANT_QOPS_H_

@@ -1,0 +1,196 @@
+// Quantized model representation + int8 execution engine.
+//
+// QuantModel is the representation an accelerator IP actually executes:
+// int8 weight codes, int32 biases, fixed-point requantization multipliers,
+// LUT activations — no float anywhere in the inner loops. It is produced
+// from a float nn::Sequential by post-training quantization (calibrated over
+// a representative pool, per-tensor or per-channel symmetric) and runs
+// batch-native forwards on the nn::Workspace arena with exact integer
+// arithmetic, so outputs are bit-identical across batch sizes, thread
+// counts and micro-kernels.
+#ifndef DNNV_QUANT_QUANT_MODEL_H_
+#define DNNV_QUANT_QUANT_MODEL_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/sequential.h"
+#include "quant/quantize.h"
+#include "util/bitset.h"
+
+namespace dnnv::quant {
+
+/// Executable quantized layer kinds (the flat IR of the int8 engine).
+enum class QLayerKind : std::uint8_t {
+  kQuantize = 0,    ///< float input -> int8 codes (folds nn::Normalize)
+  kConv2d = 1,      ///< int8 im2col + qgemm + requant
+  kDense = 2,       ///< int8 qgemm + requant (or dequant for the logit layer)
+  kMaxPool = 3,     ///< int8 max pooling (scale passes through)
+  kActivation = 4,  ///< 256-entry code LUT
+  kFlatten = 5,     ///< shape-only
+};
+
+/// One quantized layer. Canonical fields are serialized; derived fields
+/// (transposed weights, int32 biases, requant multipliers, LUTs) are rebuilt
+/// by QuantModel::refresh_derived() — also the hook that makes memory-level
+/// fault injection on the codes take effect.
+struct QLayer {
+  QLayerKind kind{};
+  std::string name;
+
+  float in_scale = 1.0f;   ///< activation scale of the layer input
+  float out_scale = 1.0f;  ///< activation scale of the layer output
+
+  // kQuantize: q = sat8(round(((x - input_mean) / input_norm_scale) / out_scale))
+  float input_mean = 0.0f;
+  float input_norm_scale = 1.0f;
+
+  // kConv2d geometry (kernel/stride also serve kMaxPool)
+  std::int64_t in_channels = 0, out_channels = 0;
+  std::int64_t kernel = 0, stride = 0, pad = 0;
+
+  // kDense geometry
+  std::int64_t in_features = 0, out_features = 0;
+
+  nn::ActivationKind activation = nn::ActivationKind::kReLU;  // kActivation
+
+  // Weight/bias codes. Conv: [out_c, in_c*k*k]; dense: [out, in] (same
+  // layout as the float layers — this IS the IP's weight memory content).
+  std::vector<std::int8_t> weights;
+  std::vector<float> wscales;  ///< 1 (per-tensor) or out-channel-count entries
+  std::vector<std::int8_t> bias_codes;
+  float bias_scale = 1.0f;
+  bool dequant_output = false;  ///< logit layer: emit float, skip requant
+
+  // ---- derived, never serialized ----
+  std::vector<std::int8_t> weights_t;   ///< dense: [in, out] for qgemm
+  std::vector<std::int32_t> bias_i32;   ///< bias on the accumulator grid
+  std::vector<Requant> requant;         ///< per out channel
+  std::vector<float> dequant_scales;    ///< logit layer: in_scale * wscale[c]
+  std::array<std::int8_t, 256> lut{};   ///< kActivation
+};
+
+/// Mutable view of one quantized parameter tensor's codes — the
+/// fault-injection / weight-memory surface. scales has one entry per
+/// channel; code i dequantizes as scales[i / per_channel] * codes[i].
+struct QTensorView {
+  std::string name;
+  std::int8_t* codes = nullptr;
+  std::int64_t size = 0;
+  std::int64_t per_channel = 0;  ///< codes per scale entry (== size if single)
+  std::vector<float> scales;
+  bool is_bias = false;
+};
+
+/// The quantized model (value type; copies get a fresh workspace).
+class QuantModel {
+ public:
+  QuantModel() = default;
+  QuantModel(const QuantModel& other);
+  QuantModel& operator=(const QuantModel& other);
+  QuantModel(QuantModel&&) = default;
+  QuantModel& operator=(QuantModel&&) = default;
+
+  /// Post-training quantization of `model` (supported layers: normalize,
+  /// conv2d, activation, maxpool2d, flatten, dense; the last layer must be
+  /// the dense logit layer). Activation clip ranges are calibrated by
+  /// running the float model over `calibration` (capped by
+  /// config.max_calibration_items).
+  static QuantModel quantize(const nn::Sequential& model,
+                             const std::vector<Tensor>& calibration,
+                             const QuantConfig& config = {});
+
+  // ---- Execution (exact integer arithmetic end to end) ----
+
+  /// Batch-native int8 forward: float input [N, ...] -> float logits [N, k]
+  /// (the only float steps are the input quantize and the final dequant).
+  /// The returned reference lives in `ws` until its next use.
+  const Tensor& forward(const Tensor& input, nn::Workspace& ws);
+
+  /// forward() on an internal workspace; returns a copy of the logits.
+  Tensor forward(const Tensor& input);
+
+  /// argmax labels for a batched input.
+  std::vector<int> predict_labels(const Tensor& batch);
+
+  /// Per-item activation masks measured on the EXECUTED int8 model: one bit
+  /// per activation-layer output unit, set iff its int8 code is non-zero
+  /// (|value| >= out_scale/2 — the int8 grid's own activation criterion).
+  /// Bit-identical for any batch size by integer exactness.
+  std::vector<DynamicBitset> activation_masks_int8(const Tensor& batch,
+                                                   nn::Workspace& ws);
+  std::vector<DynamicBitset> activation_masks_int8(const Tensor& batch);
+
+  // ---- Analysis / targeting hooks ----
+
+  /// Float realization of the executed model: a nn::Sequential whose
+  /// parameters are the dequantized codes (scale * int8). Feed this to
+  /// cov::ParameterCoverage or the testgen generators so masks/suites
+  /// target the weights the IP actually carries, not the pre-quantization
+  /// float model.
+  nn::Sequential dequantized_reference() const;
+
+  /// Analytic bound on max |int8-engine logit - float-reference logit|,
+  /// propagated layer by layer (weight rounding, bias rounding, requant
+  /// rounding, LUT rounding, Lipschitz-1 activations/pooling). Valid under
+  /// min/max calibration for inputs whose float activations stay inside the
+  /// calibrated ranges (clipping is then a projection and cannot grow the
+  /// error); percentile calibration clips by design and voids the bound.
+  double logit_error_bound() const;
+
+  // ---- Weight-memory surface ----
+
+  /// Views of all parameter code tensors, in float param_views() order
+  /// (weights before bias per layer). Mutating codes requires a
+  /// refresh_derived() call before the next forward.
+  std::vector<QTensorView> param_views();
+
+  /// Total number of parameter codes (== the float model's param_count()).
+  std::int64_t param_count() const;
+
+  /// Rebuilds every derived buffer from the canonical codes/scales.
+  void refresh_derived();
+
+  /// Re-quantizes weights and biases from (a perturbed copy of) the float
+  /// model while KEEPING the calibrated activation scales — the deployment
+  /// update path: calibration is an offline vendor step, weight updates
+  /// ship directly. Layer structure must match the quantized-from model.
+  void requantize_weights_from(nn::Sequential& model);
+
+  // ---- Persistence ----
+
+  void save(ByteWriter& writer) const;
+  static QuantModel load(ByteReader& reader);
+
+  /// save() + CRC-32 footer over the payload.
+  void save_file(const std::string& path) const;
+
+  /// Verifies the CRC-32 footer, then load(); throws dnnv::Error on
+  /// corruption.
+  static QuantModel load_file(const std::string& path);
+
+  int num_classes() const { return num_classes_; }
+  const std::vector<QLayer>& layers() const { return layers_; }
+  const QuantConfig& config() const { return config_; }
+
+  /// "quantize -> conv2d(3->16,k3)[pc] -> lut(relu) -> ..." one-liner.
+  std::string summary() const;
+
+ private:
+  const Tensor& forward_impl(const Tensor& input, nn::Workspace& ws,
+                             std::vector<std::pair<const std::int8_t*,
+                                                   std::int64_t>>* activations);
+
+  std::vector<QLayer> layers_;
+  QuantConfig config_;
+  int num_classes_ = 0;
+  bool has_normalize_ = false;
+  nn::Workspace ws_;  ///< convenience-overload buffers
+};
+
+}  // namespace dnnv::quant
+
+#endif  // DNNV_QUANT_QUANT_MODEL_H_

@@ -107,6 +107,14 @@ std::vector<float> ByteReader::read_f32_array(std::size_t n) {
   return v;
 }
 
+std::vector<std::uint8_t> ByteReader::read_bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return v;
+}
+
 std::vector<std::uint64_t> ByteReader::read_u64_array(std::size_t n) {
   require(n * sizeof(std::uint64_t));
   std::vector<std::uint64_t> v(n);

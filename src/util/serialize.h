@@ -43,6 +43,8 @@ class ByteReader {
   std::string read_string();
   std::vector<float> read_f32_array(std::size_t n);
   std::vector<std::uint64_t> read_u64_array(std::size_t n);
+  /// Raw byte run (inverse of write_bytes with a known length).
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
 
   std::size_t remaining() const { return bytes_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }

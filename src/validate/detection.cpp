@@ -2,18 +2,20 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "tensor/batch.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace dnnv::validate {
+namespace {
 
-DetectionOutcome run_detection(const nn::Sequential& model,
-                               const TestSuite& suite,
-                               const attack::Attack& attack,
-                               const std::vector<Tensor>& victims,
-                               const DetectionConfig& config) {
+constexpr int kNotDetected = std::numeric_limits<int>::max();
+
+void check_config(const TestSuite& suite, const std::vector<Tensor>& victims,
+                  const DetectionConfig& config) {
   DNNV_CHECK(!suite.empty(), "empty suite");
   DNNV_CHECK(!victims.empty(), "empty victim pool");
   DNNV_CHECK(config.trials > 0, "need at least one trial");
@@ -21,14 +23,21 @@ DetectionOutcome run_detection(const nn::Sequential& model,
     DNNV_CHECK(n > 0 && n <= static_cast<int>(suite.size()),
                "test count " << n << " exceeds suite size " << suite.size());
   }
+}
 
-  constexpr int kNotDetected = std::numeric_limits<int>::max();
+/// Runs the trial loop over the shared pool. `replay` is invoked per trial
+/// on a worker-local model carrying the applied perturbation and returns the
+/// replayed suite labels; `golden` is compared index-wise for the first
+/// detection. Worker-local state lives in the closures; per-trial rngs are
+/// derived from (seed, trial) so results are thread-count independent.
+template <typename MakeWorkerFn>
+std::vector<int> run_trials(const attack::Attack& attack,
+                            const std::vector<Tensor>& victims,
+                            const DetectionConfig& config,
+                            const std::vector<int>& golden,
+                            const MakeWorkerFn& make_worker) {
   std::vector<int> first_detection(static_cast<std::size_t>(config.trials),
                                    -1);  // -1 = dropped
-
-  const Tensor suite_batch = stack_batch(suite.inputs());
-  const auto& golden = suite.golden_labels();
-
   ThreadPool& pool = ThreadPool::shared();
   const std::size_t num_workers = std::min<std::size_t>(
       pool.num_threads(), static_cast<std::size_t>(config.trials));
@@ -37,7 +46,9 @@ DetectionOutcome run_detection(const nn::Sequential& model,
 
   for (std::size_t w = 0; w < num_workers; ++w) {
     pool.submit([&, w] {
-      nn::Sequential local = model.clone();
+      auto worker = make_worker();  // (local model, replay fn) pair
+      nn::Sequential& local = worker.first;
+      auto& replay = worker.second;
       const std::size_t begin = w * chunk;
       const std::size_t end = std::min<std::size_t>(
           static_cast<std::size_t>(config.trials), begin + chunk);
@@ -55,7 +66,7 @@ DetectionOutcome run_detection(const nn::Sequential& model,
         if (perturbation.empty()) continue;  // dropped (stays -1)
 
         perturbation.apply(local);
-        const auto labels = local.predict_labels(suite_batch);
+        const std::vector<int> labels = replay(local);
         perturbation.revert(local);
 
         int first = kNotDetected;
@@ -70,7 +81,12 @@ DetectionOutcome run_detection(const nn::Sequential& model,
     });
   }
   pool.wait_all();
+  return first_detection;
+}
 
+DetectionOutcome aggregate(const std::vector<int>& first_detection,
+                           const DetectionConfig& config,
+                           const attack::Attack& attack) {
   DetectionOutcome outcome;
   outcome.rate_per_count.assign(config.test_counts.size(), 0.0);
   double detection_sum = 0.0;
@@ -97,6 +113,58 @@ DetectionOutcome run_detection(const nn::Sequential& model,
   outcome.mean_first_detection =
       detected_count > 0 ? detection_sum / detected_count : -1.0;
   return outcome;
+}
+
+}  // namespace
+
+DetectionOutcome run_detection(const nn::Sequential& model,
+                               const TestSuite& suite,
+                               const attack::Attack& attack,
+                               const std::vector<Tensor>& victims,
+                               const DetectionConfig& config) {
+  check_config(suite, victims, config);
+  const Tensor suite_batch = stack_batch(suite.inputs());
+  const auto& golden = suite.golden_labels();
+
+  auto make_worker = [&] {
+    auto replay = [&suite_batch](nn::Sequential& local) {
+      return local.predict_labels(suite_batch);
+    };
+    return std::make_pair(model.clone(), replay);
+  };
+  return aggregate(run_trials(attack, victims, config, golden, make_worker),
+                   config, attack);
+}
+
+DetectionOutcome run_detection_quantized(const nn::Sequential& model,
+                                         const quant::QuantModel& shipped,
+                                         const TestSuite& suite,
+                                         const attack::Attack& attack,
+                                         const std::vector<Tensor>& victims,
+                                         const DetectionConfig& config) {
+  check_config(suite, victims, config);
+  const Tensor suite_batch = stack_batch(suite.inputs());
+  // The user validates the shipped int8 artifact: golden labels come from
+  // the clean quantized model, not from suite.golden_labels() (which a
+  // vendor may have produced on the float master).
+  const std::vector<int> golden = [&] {
+    quant::QuantModel clean = shipped;
+    return clean.predict_labels(suite_batch);
+  }();
+
+  auto make_worker = [&] {
+    // One float clone (attack surface) + one QuantModel clone (device under
+    // test) per worker; activation calibration is frozen, weight codes
+    // refresh from the perturbed float parameters each trial.
+    auto local_quant = std::make_shared<quant::QuantModel>(shipped);
+    auto replay = [local_quant, &suite_batch](nn::Sequential& local) {
+      local_quant->requantize_weights_from(local);
+      return local_quant->predict_labels(suite_batch);
+    };
+    return std::make_pair(model.clone(), replay);
+  };
+  return aggregate(run_trials(attack, victims, config, golden, make_worker),
+                   config, attack);
 }
 
 }  // namespace dnnv::validate

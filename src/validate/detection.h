@@ -12,6 +12,7 @@
 
 #include "attack/attack.h"
 #include "nn/sequential.h"
+#include "quant/quant_model.h"
 #include "validate/test_suite.h"
 
 namespace dnnv::validate {
@@ -40,6 +41,22 @@ DetectionOutcome run_detection(const nn::Sequential& model,
                                const attack::Attack& attack,
                                const std::vector<Tensor>& victims,
                                const DetectionConfig& config);
+
+/// Quantized-backend variant: the IP under test executes int8. Per trial the
+/// attack crafts a float parameter perturbation (the attacker works on the
+/// float master, as in the supply-chain threat model), the perturbed model
+/// is re-quantized onto `shipped`'s FIXED calibration (activation scales
+/// and LUTs are an offline vendor step; only weight/bias codes refresh),
+/// and the suite is replayed on the integer engine. Golden labels are the
+/// clean quantized model's own outputs on the suite inputs — the user
+/// validates the shipped artifact, not the float master. Deterministic in
+/// config.seed regardless of thread count (integer execution is exact).
+DetectionOutcome run_detection_quantized(const nn::Sequential& model,
+                                         const quant::QuantModel& shipped,
+                                         const TestSuite& suite,
+                                         const attack::Attack& attack,
+                                         const std::vector<Tensor>& victims,
+                                         const DetectionConfig& config);
 
 }  // namespace dnnv::validate
 

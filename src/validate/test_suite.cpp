@@ -29,6 +29,17 @@ TestSuite TestSuite::create(nn::Sequential& vendor_model,
   return suite;
 }
 
+TestSuite TestSuite::from_labels(std::vector<Tensor> inputs,
+                                 std::vector<int> golden_labels) {
+  DNNV_CHECK(!inputs.empty(), "cannot create an empty test suite");
+  DNNV_CHECK(inputs.size() == golden_labels.size(),
+             "inputs/labels size mismatch");
+  TestSuite suite;
+  suite.inputs_ = std::move(inputs);
+  suite.golden_labels_ = std::move(golden_labels);
+  return suite;
+}
+
 TestSuite TestSuite::prefix(std::size_t count) const {
   DNNV_CHECK(count <= size(), "prefix " << count << " exceeds suite " << size());
   TestSuite out;

@@ -26,6 +26,12 @@ class TestSuite {
   static TestSuite create(nn::Sequential& vendor_model,
                           const std::vector<Tensor>& inputs);
 
+  /// Builds a suite from precomputed golden labels — the path for shipping
+  /// a suite qualified against a non-float backend (e.g. the labels the
+  /// quantised int8 IP itself produces on the test inputs).
+  static TestSuite from_labels(std::vector<Tensor> inputs,
+                               std::vector<int> golden_labels);
+
   std::size_t size() const { return inputs_.size(); }
   bool empty() const { return inputs_.empty(); }
 
