@@ -7,7 +7,7 @@
 #include "coverage/parameter_coverage.h"
 #include "ip/fault_injector.h"
 #include "ip/quantized_ip.h"
-#include "testgen/combined_generator.h"
+#include "testgen/generator.h"
 #include "util/table.h"
 #include "validate/test_suite.h"
 #include "validate/validator.h"
@@ -27,14 +27,18 @@ int main(int argc, char** argv) {
   // Generate the functional-test suite with the combined method.
   cov::CoverageAccumulator acc(
       static_cast<std::size_t>(trained.model.param_count()));
-  testgen::CombinedGenerator::Options gen_options;
-  gen_options.max_tests = max_tests;
-  gen_options.coverage = trained.coverage;
-  gen_options.gradient.coverage = trained.coverage;
-  gen_options.gradient.steps = 60;
-  const auto tests = testgen::CombinedGenerator(gen_options)
-                         .generate(trained.model, pool.images,
-                                   trained.item_shape, trained.num_classes, acc);
+  testgen::GeneratorConfig gen_config;
+  gen_config.max_tests = max_tests;
+  gen_config.coverage = trained.coverage;
+  gen_config.gradient.steps = 60;
+  testgen::GenContext gen_ctx;
+  gen_ctx.model = &trained.model;
+  gen_ctx.pool = &pool.images;
+  gen_ctx.item_shape = trained.item_shape;
+  gen_ctx.num_classes = trained.num_classes;
+  gen_ctx.accumulator = &acc;
+  const auto tests =
+      testgen::make_generator("combined", gen_config)->generate(gen_ctx);
 
   // Golden labels from the quantised IP itself (the shipped artefact).
   ip::QuantizedIp quantized(trained.model, trained.item_shape);

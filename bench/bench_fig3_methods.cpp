@@ -5,14 +5,14 @@
 // Paper shape: selection is best early (20 tests ≈ 82%) but saturates (the
 // whole training set leaves ~8% never activated); gradient synthesis starts
 // lower but keeps climbing; the combined method dominates (30 tests ≈ 92%).
+//
+// All methods run through the generator registry against one shared pool
+// mask pass (testgen::make_generator + GenContext.masks).
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "coverage/parameter_coverage.h"
-#include "testgen/combined_generator.h"
-#include "testgen/gradient_generator.h"
-#include "testgen/greedy_selector.h"
-#include "testgen/neuron_selector.h"
+#include "testgen/generator.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -28,9 +28,18 @@ std::string at(const testgen::GenerationResult& result, int n) {
   return format_percent(result.coverage_after[idx]);
 }
 
-}  // namespace
-
-namespace {
+/// The compared methods, by registry name (Fig 3's four curves).
+struct MethodRow {
+  const char* method;       ///< testgen registry name
+  const char* timer_label;  ///< progress line (nullptr = untimed control)
+  const char* column;       ///< table header
+};
+constexpr MethodRow kMethods[] = {
+    {"greedy", "Algorithm 1 (training-set selection): ", "Alg 1 (select)"},
+    {"gradient", "Algorithm 2 (gradient synthesis):     ", "Alg 2 (gradient)"},
+    {"combined", "Combined method:                      ", "Combined"},
+    {"random", nullptr, "Random control"},
+};
 
 int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
                   const exp::ZooOptions& options) {
@@ -48,68 +57,45 @@ int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
       cov::activation_masks(trained.model, pool.images, trained.coverage);
   std::cout << "  done in " << timer.elapsed_seconds() << "s\n";
 
-  // Method 1: Algorithm 1 (greedy training-set selection).
-  timer.reset();
-  cov::CoverageAccumulator acc_greedy(universe);
-  testgen::GreedySelector::Options greedy_options;
-  greedy_options.max_tests = budget;
-  greedy_options.coverage = trained.coverage;
-  std::vector<bool> used(pool.images.size(), false);
-  const auto greedy = testgen::GreedySelector(greedy_options)
-                          .select_with_masks(pool.images, masks, acc_greedy, used);
-  std::cout << "Algorithm 1 (training-set selection): "
-            << timer.elapsed_seconds() << "s\n";
+  // Shared config; every method draws the knobs it understands.
+  testgen::GeneratorConfig config;
+  config.max_tests = budget;
+  config.coverage = trained.coverage;
+  config.gradient.steps = 60;
+  config.random_seed = 17;
+
+  testgen::GenContext ctx;
+  ctx.model = &trained.model;
+  ctx.pool = &pool.images;
+  ctx.masks = &masks;
+  ctx.item_shape = trained.item_shape;
+  ctx.num_classes = trained.num_classes;
+
+  std::vector<testgen::GenerationResult> results;
+  for (const MethodRow& row : kMethods) {
+    timer.reset();
+    cov::CoverageAccumulator accumulator(universe);
+    ctx.accumulator = &accumulator;
+    results.push_back(testgen::make_generator(row.method, config)->generate(ctx));
+    if (row.timer_label != nullptr) {
+      std::cout << row.timer_label << timer.elapsed_seconds() << "s\n";
+    }
+  }
 
   // Whole-pool ceiling: how much the entire candidate set can ever activate
   // (paper: ~8% of CIFAR parameters are never activated by the training set).
   cov::CoverageAccumulator ceiling(universe);
   for (const auto& mask : masks) ceiling.add(mask);
 
-  // Method 2: Algorithm 2 (gradient-based synthesis) alone.
-  timer.reset();
-  cov::CoverageAccumulator acc_gradient(universe);
-  testgen::GradientGenerator::Options gradient_options;
-  gradient_options.max_tests = budget;
-  gradient_options.coverage = trained.coverage;
-  gradient_options.steps = 60;
-  const auto gradient =
-      testgen::GradientGenerator(gradient_options)
-          .generate(trained.model, trained.item_shape, trained.num_classes,
-                    acc_gradient);
-  std::cout << "Algorithm 2 (gradient synthesis):     "
-            << timer.elapsed_seconds() << "s\n";
-
-  // Method 3: combined (paper §IV-D).
-  timer.reset();
-  cov::CoverageAccumulator acc_combined(universe);
-  testgen::CombinedGenerator::Options combined_options;
-  combined_options.max_tests = budget;
-  combined_options.coverage = trained.coverage;
-  combined_options.gradient = gradient_options;
-  const auto combined =
-      testgen::CombinedGenerator(combined_options)
-          .generate(trained.model, pool.images, masks, trained.item_shape,
-                    trained.num_classes, acc_combined);
-  std::cout << "Combined method:                      "
-            << timer.elapsed_seconds() << "s\n";
-
-  // Control: random selection from the pool.
-  const auto random_picks = testgen::RandomSelector(budget, 17).select(pool.images);
-  cov::CoverageAccumulator acc_random(universe);
-  testgen::GenerationResult random_result = random_picks;
-  for (auto& test : random_result.tests) {
-    acc_random.add(masks[static_cast<std::size_t>(test.pool_index)]);
-    random_result.coverage_after.push_back(acc_random.coverage());
-  }
-  random_result.final_coverage = acc_random.coverage();
-
   std::cout << "\n";
-  TablePrinter table({"#tests", "Alg 1 (select)", "Alg 2 (gradient)",
-                      "Combined", "Random control"});
+  std::vector<std::string> headers = {"#tests"};
+  for (const MethodRow& row : kMethods) headers.push_back(row.column);
+  TablePrinter table(std::move(headers));
   for (const int n : {1, 5, 10, 20, 30, 40, 50, 80, 120}) {
     if (n > budget) break;
-    table.add_row({std::to_string(n), at(greedy, n), at(gradient, n),
-                   at(combined, n), at(random_result, n)});
+    std::vector<std::string> cells = {std::to_string(n)};
+    for (const auto& result : results) cells.push_back(at(result, n));
+    table.add_row(std::move(cells));
   }
   table.print(std::cout);
 
@@ -119,11 +105,16 @@ int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
             << format_percent(1.0 - ceiling.coverage())
             << " (paper: ~8% for the full CIFAR training set)\n";
   int synthetic = 0;
-  for (const auto& test : combined.tests) {
-    if (test.source == testgen::TestSource::kSynthetic) ++synthetic;
+  std::size_t combined_tests = 0;
+  for (std::size_t m = 0; m < std::size(kMethods); ++m) {
+    if (std::string(kMethods[m].method) != "combined") continue;
+    combined_tests = results[m].tests.size();
+    for (const auto& test : results[m].tests) {
+      if (test.source == testgen::TestSource::kSynthetic) ++synthetic;
+    }
   }
   std::cout << "combined method switch profile: "
-            << (static_cast<int>(combined.tests.size()) - synthetic)
+            << (static_cast<int>(combined_tests) - synthetic)
             << " training samples, then " << synthetic << " synthetic tests\n";
   std::cout << "paper reference points (CIFAR): Alg1 20->82%, Alg2 10->66%, "
                "combined 30->92%\n";

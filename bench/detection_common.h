@@ -3,6 +3,7 @@
 #define DNNV_BENCH_DETECTION_COMMON_H_
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "attack/gda.h"
@@ -10,19 +11,58 @@
 #include "attack/sba.h"
 #include "bench/bench_common.h"
 #include "coverage/parameter_coverage.h"
-#include "testgen/combined_generator.h"
-#include "testgen/neuron_selector.h"
+#include "testgen/generator.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "validate/backend.h"
 #include "validate/detection.h"
 #include "validate/test_suite.h"
 
 namespace dnnv::bench {
 
+/// The two compared criteria, by generator-registry name: the
+/// neuron-coverage baseline ([11]-style) and the paper's proposed combined
+/// parameter-coverage method (§IV-D).
+inline constexpr const char* kBaselineMethod = "neuron";
+inline constexpr const char* kProposedMethod = "combined";
+
+/// Generator config shared by every method in the detection tables.
+inline testgen::GeneratorConfig detection_table_config(
+    const exp::TrainedModel& trained, int max_tests) {
+  testgen::GeneratorConfig config;
+  config.max_tests = max_tests;
+  config.coverage = trained.coverage;
+  config.gradient.steps = 25;
+  return config;
+}
+
+/// Builds one method's qualified suite through the registry. `coverage_out`
+/// receives the method's own final coverage metric (VC for parameter-
+/// coverage methods, neuron coverage for the baseline).
+inline validate::TestSuite build_method_suite(
+    const std::string& method, const exp::TrainedModel& trained,
+    const data::MaterializedData& pool, int max_tests, double* coverage_out) {
+  cov::CoverageAccumulator accumulator(
+      static_cast<std::size_t>(trained.model.param_count()));
+  testgen::GenContext ctx;
+  ctx.model = &trained.model;
+  ctx.pool = &pool.images;
+  ctx.item_shape = trained.item_shape;
+  ctx.num_classes = trained.num_classes;
+  ctx.accumulator = &accumulator;
+  const auto result =
+      testgen::make_generator(method, detection_table_config(trained, max_tests))
+          ->generate(ctx);
+  if (coverage_out != nullptr) *coverage_out = result.final_coverage;
+  auto vendor_model = trained.model.clone();
+  return validate::TestSuite::create(vendor_model, result.tests);
+}
+
 /// Runs one full detection table (paper Table II or III): builds the
 /// neuron-coverage baseline suite and the proposed parameter-coverage suite
-/// (both 50 tests, nested), runs SBA / GDA / random perturbation campaigns,
-/// and prints detection rates for N in {10..50}.
+/// (both 50 tests, nested) via the generator registry, runs SBA / GDA /
+/// random perturbation campaigns on the float execution backend, and prints
+/// detection rates for N in {10..50}.
 inline int run_detection_table(exp::TrainedModel& trained,
                                const data::MaterializedData& pool,
                                const data::MaterializedData& victims,
@@ -35,34 +75,19 @@ inline int run_detection_table(exp::TrainedModel& trained,
   Stopwatch timer;
 
   // Proposed suite: combined parameter-coverage generation (paper §IV-D).
-  cov::CoverageAccumulator acc(
-      static_cast<std::size_t>(trained.model.param_count()));
-  testgen::CombinedGenerator::Options combined_options;
-  combined_options.max_tests = max_tests;
-  combined_options.coverage = trained.coverage;
-  combined_options.gradient.coverage = trained.coverage;
-  combined_options.gradient.steps = 25;
-  const auto proposed_tests =
-      testgen::CombinedGenerator(combined_options)
-          .generate(trained.model, pool.images, trained.item_shape,
-                    trained.num_classes, acc);
-  auto vendor_model = trained.model.clone();
-  const validate::TestSuite proposed_suite =
-      validate::TestSuite::create(vendor_model, proposed_tests.tests);
-  std::cout << "proposed suite: VC = " << format_percent(acc.coverage())
+  double proposed_coverage = 0.0;
+  const validate::TestSuite proposed_suite = build_method_suite(
+      kProposedMethod, trained, pool, max_tests, &proposed_coverage);
+  std::cout << "proposed suite: VC = " << format_percent(proposed_coverage)
             << " (" << timer.elapsed_seconds() << "s)\n";
 
   // Baseline suite: neuron-coverage selection ([11]-style).
   timer.reset();
-  testgen::NeuronCoverageSelector::Options neuron_options;
-  neuron_options.max_tests = max_tests;
-  const auto neuron_tests =
-      testgen::NeuronCoverageSelector(neuron_options)
-          .select(trained.model, trained.item_shape, pool.images);
-  const validate::TestSuite neuron_suite =
-      validate::TestSuite::create(vendor_model, neuron_tests.tests);
+  double neuron_coverage = 0.0;
+  const validate::TestSuite neuron_suite = build_method_suite(
+      kBaselineMethod, trained, pool, max_tests, &neuron_coverage);
   std::cout << "baseline suite: neuron coverage = "
-            << format_percent(neuron_tests.final_coverage) << " ("
+            << format_percent(neuron_coverage) << " ("
             << timer.elapsed_seconds() << "s)\n\n";
 
   // Attacks (Liu et al. ICCAD'17 + random corruption).
@@ -74,6 +99,11 @@ inline int run_detection_table(exp::TrainedModel& trained,
   config.trials = trials;
   config.test_counts = {10, 20, 30, 40, 50};
   config.seed = 20230517;
+
+  // The deployed target: both suites replay on the same float reference
+  // backend (bench_table* measure the paper's float setting; swap in
+  // validate::Int8Backend to reproduce the tables on the integer engine).
+  validate::FloatReferenceBackend backend(trained.model);
 
   struct Cell {
     validate::DetectionOutcome neuron;
@@ -87,9 +117,9 @@ inline int run_detection_table(exp::TrainedModel& trained,
     // Victims come from HELD-OUT data: an attacker targets fielded inputs,
     // not the vendor's test-generation pool (and baseline tests must not
     // accidentally contain the victim itself).
-    cell.neuron = run_detection(trained.model, neuron_suite, *atk,
+    cell.neuron = run_detection(trained.model, neuron_suite, backend, *atk,
                                 victims.images, config);
-    cell.proposed = run_detection(trained.model, proposed_suite, *atk,
+    cell.proposed = run_detection(trained.model, proposed_suite, backend, *atk,
                                   victims.images, config);
     std::cout << "attack " << atk->name() << ": " << timer.elapsed_seconds()
               << "s (dropped trials: neuron " << cell.neuron.dropped_trials

@@ -13,7 +13,7 @@
 #include "exp/model_zoo.h"
 #include "ip/reference_ip.h"
 #include "nn/trainer.h"
-#include "testgen/combined_generator.h"
+#include "testgen/generator.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "validate/test_suite.h"
@@ -39,14 +39,18 @@ int main(int argc, char** argv) {
   // Functional-test suite for detection checks.
   cov::CoverageAccumulator acc(
       static_cast<std::size_t>(trained.model.param_count()));
-  testgen::CombinedGenerator::Options gen_options;
-  gen_options.max_tests = 50;
-  gen_options.coverage = trained.coverage;
-  gen_options.gradient.coverage = trained.coverage;
-  gen_options.gradient.steps = 50;
-  const auto tests = testgen::CombinedGenerator(gen_options)
-                         .generate(trained.model, pool.images,
-                                   trained.item_shape, trained.num_classes, acc);
+  testgen::GeneratorConfig gen_config;
+  gen_config.max_tests = 50;
+  gen_config.coverage = trained.coverage;
+  gen_config.gradient.steps = 50;
+  testgen::GenContext gen_ctx;
+  gen_ctx.model = &trained.model;
+  gen_ctx.pool = &pool.images;
+  gen_ctx.item_shape = trained.item_shape;
+  gen_ctx.num_classes = trained.num_classes;
+  gen_ctx.accumulator = &acc;
+  const auto tests =
+      testgen::make_generator("combined", gen_config)->generate(gen_ctx);
   auto suite = validate::TestSuite::create(trained.model, tests.tests);
 
   attack::SingleBiasAttack sba;

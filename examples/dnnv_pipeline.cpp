@@ -1,0 +1,103 @@
+// dnnv_pipeline — minimal CLI over the vendor→user pipeline façade.
+//
+// Vendor side (default): train/load a zoo model, run
+// pipeline::VendorPipeline with a registry-named generation method and
+// qualification backend, and write the single release deliverable:
+//
+//   dnnv_pipeline --method combined --backend int8 --tests 50 \
+//                 --out deliverable.bin [--model mnist|cifar] [--tiny] \
+//                 [--pool 500] [--key 12345]
+//
+// User side (--in): load a deliverable, reconstruct the deployed device and
+// replay the suite; exit 0 = SECURE, 2 = TAMPERED:
+//
+//   dnnv_pipeline --in deliverable.bin [--key 12345]
+//
+// --list prints the registered generation methods and exits.
+#include <iostream>
+#include <string>
+
+#include "exp/model_zoo.h"
+#include "pipeline/user.h"
+#include "pipeline/vendor.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dnnv;
+
+int run_vendor(const CliArgs& args) {
+  const std::string which = args.get_string("model", "cifar");
+  const std::string out = args.get_string("out", "deliverable.bin");
+  const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
+
+  exp::ZooOptions zoo;
+  zoo.tiny = args.get_bool("tiny", false);
+  zoo.verbose = true;
+  auto trained =
+      which == "mnist" ? exp::mnist_tanh(zoo) : exp::cifar_relu(zoo);
+  const auto pool_size = static_cast<std::int64_t>(args.get_int("pool", 300));
+  const auto pool = which == "mnist" ? exp::digits_train(pool_size)
+                                     : exp::shapes_train(pool_size);
+
+  pipeline::VendorOptions options;
+  options.method = args.get_string("method", "combined");
+  options.backend = args.get_string("backend", "float");
+  options.num_tests = args.get_int("tests", 50);
+  options.generator.coverage = trained.coverage;
+  options.generator.gradient.steps = args.get_int("steps", 40);
+  options.model_name = trained.name;
+
+  std::cout << "vendor: " << trained.name << ", method '" << options.method
+            << "', backend '" << options.backend << "', " << options.num_tests
+            << " tests\n";
+  pipeline::VendorReport report;
+  const auto deliverable =
+      pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
+                                            trained.num_classes, pool.images,
+                                            &report);
+  deliverable.save_file(out, key);
+  std::cout << "coverage " << format_percent(report.coverage);
+  if (report.backend_float_agreement >= 0) {
+    std::cout << ", int8/float golden agreement " << report.backend_float_agreement
+              << "/" << report.generation.tests.size();
+  }
+  std::cout << "\nwrote " << out << " (" << deliverable.manifest.summary()
+            << ")\n";
+  return 0;
+}
+
+int run_user(const CliArgs& args) {
+  const std::string in = args.get_string("in", "deliverable.bin");
+  const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
+  const auto validator = pipeline::UserValidator::load_file(in, key);
+  std::cout << "loaded " << in << " ("
+            << validator.deliverable().manifest.summary() << ")\n";
+  const auto verdict = validator.validate();
+  std::cout << "replayed " << verdict.tests_run << " tests: "
+            << (verdict.passed ? "SECURE" : "TAMPERED") << "\n";
+  return verdict.passed ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"method", "backend", "tests", "out", "in", "model",
+                        "tiny", "pool", "key", "steps", "list"});
+    if (args.get_bool("list", false)) {
+      std::cout << "registered generation methods:\n";
+      for (const auto& name : testgen::generator_names()) {
+        std::cout << "  " << name << "\n";
+      }
+      return 0;
+    }
+    return args.has("in") ? run_user(args) : run_vendor(args);
+  } catch (const dnnv::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

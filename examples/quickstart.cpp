@@ -11,7 +11,7 @@
 #include "coverage/parameter_coverage.h"
 #include "exp/model_zoo.h"
 #include "ip/reference_ip.h"
-#include "testgen/combined_generator.h"
+#include "testgen/generator.h"
 #include "validate/test_suite.h"
 #include "validate/validator.h"
 
@@ -34,15 +34,18 @@ int main() {
   const auto pool = exp::shapes_train(150);
   cov::CoverageAccumulator coverage(
       static_cast<std::size_t>(trained.model.param_count()));
-  testgen::CombinedGenerator::Options gen_options;
-  gen_options.max_tests = 20;
-  gen_options.coverage = trained.coverage;
-  gen_options.gradient.coverage = trained.coverage;
-  gen_options.gradient.steps = 40;
-  const auto tests = testgen::CombinedGenerator(gen_options)
-                         .generate(trained.model, pool.images,
-                                   trained.item_shape, trained.num_classes,
-                                   coverage);
+  testgen::GeneratorConfig gen_config;
+  gen_config.max_tests = 20;
+  gen_config.coverage = trained.coverage;
+  gen_config.gradient.steps = 40;
+  testgen::GenContext gen_ctx;
+  gen_ctx.model = &trained.model;
+  gen_ctx.pool = &pool.images;
+  gen_ctx.item_shape = trained.item_shape;
+  gen_ctx.num_classes = trained.num_classes;
+  gen_ctx.accumulator = &coverage;
+  const auto tests =
+      testgen::make_generator("combined", gen_config)->generate(gen_ctx);
   std::cout << "    " << tests.tests.size() << " tests activate "
             << coverage.coverage() * 100 << "% of all parameters\n";
 

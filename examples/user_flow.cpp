@@ -1,20 +1,20 @@
-// User flow — what an IP licensee runs after receiving the artifacts from
-// vendor_flow (paper Fig 1 right): load the package, replay the tests
-// against the black-box IP, and report SECURE / TAMPERED. Pass --tamper to
-// simulate a supply-chain attack on the model file before validation.
+// User flow — what an IP licensee runs after receiving the deliverable from
+// vendor_flow (paper Fig 1 right), now a thin demo over
+// pipeline::UserValidator: load the bundle, reconstruct the deployed device,
+// replay the tests, and report SECURE / TAMPERED. Pass --tamper to simulate
+// a supply-chain attack on the device before validation.
 //
 // Usage:
-//   ./build/examples/vendor_flow --out vendor_release
-//   ./build/examples/user_flow   --in vendor_release [--tamper] [--key 987654321]
+//   ./build/vendor_flow --out vendor_release
+//   ./build/user_flow   --in vendor_release [--tamper] [--key 987654321]
 #include <iostream>
 
 #include "attack/random_perturbation.h"
+#include "ip/quantized_ip.h"
 #include "ip/reference_ip.h"
-#include "nn/sequential.h"
-#include "util/error.h"
+#include "pipeline/user.h"
 #include "util/cli.h"
-#include "validate/test_suite.h"
-#include "validate/validator.h"
+#include "util/error.h"
 
 int main(int argc, char** argv) {
   using namespace dnnv;
@@ -24,38 +24,52 @@ int main(int argc, char** argv) {
   const bool tamper = args.get_bool("tamper", false);
 
   std::cout << "=== DNN IP user validation flow ===\n";
-  std::cout << "loading test package " << in_dir << "/functional_tests.pkg\n";
-  validate::TestSuite suite;
+  const std::string path = in_dir + "/deliverable.dnnv";
+  std::cout << "loading deliverable " << path << "\n";
+  std::unique_ptr<pipeline::UserValidator> validator;
   try {
-    suite = validate::TestSuite::load_package(in_dir + "/functional_tests.pkg", key);
+    validator = std::make_unique<pipeline::UserValidator>(
+        pipeline::Deliverable::load_file(path, key));
   } catch (const Error& error) {
-    std::cerr << "package rejected: " << error.what() << "\n"
+    std::cerr << "deliverable rejected: " << error.what() << "\n"
               << "(run examples/vendor_flow first, and check the key)\n";
     return 1;
   }
-  std::cout << "  " << suite.size() << " functional tests with golden outputs\n";
+  std::cout << "  manifest: " << validator->deliverable().manifest.summary()
+            << "\n";
 
-  std::cout << "loading the delivered IP (black box from here on)\n";
-  nn::Sequential model = nn::Sequential::load_file(in_dir + "/ip_model.dnnv");
+  // Reconstruct the deployed device (black box from here on): the int8
+  // artifact with its weight memory when one was shipped, the float
+  // reference otherwise.
+  auto device = validator->make_device();
 
   if (tamper) {
-    // Simulate an in-transit parameter substitution: a sparse random
-    // corruption the user cannot see from the binary alone.
+    // Simulate in-transit parameter substitution the user cannot see from
+    // the binary alone.
     std::cout << "[simulating in-transit parameter tampering]\n";
-    attack::RandomPerturbation::Options options;
-    options.num_params = 16;
-    options.relative_sigma = 8.0f;
     Rng rng(1337);
-    auto payload = attack::RandomPerturbation(options).craft(
-        model, suite.inputs().front(), rng);
-    payload.apply(model);
+    if (auto* quantized = dynamic_cast<ip::QuantizedIp*>(device.get())) {
+      // Substitute the first conv tensor in the weight memory: sign-flip
+      // every code (the broadest-influence parameters). Single-bit faults
+      // are the probabilistic case measured by bench_ext_quantized_bitflip;
+      // a swapped tensor is the deterministic demo.
+      const auto& first_tensor = quantized->tensor_table().front();
+      for (std::int64_t i = 0; i < first_tensor.size; ++i) {
+        quantized->flip_bit(
+            first_tensor.memory_offset + static_cast<std::size_t>(i), 7);
+      }
+    } else if (auto* reference = dynamic_cast<ip::ReferenceIp*>(device.get())) {
+      attack::RandomPerturbation::Options options;
+      options.num_params = 16;
+      options.relative_sigma = 8.0f;
+      auto payload = attack::RandomPerturbation(options).craft(
+          reference->compromised_model(),
+          validator->deliverable().suite.inputs().front(), rng);
+      payload.apply(reference->compromised_model());
+    }
   }
 
-  // Black-box view: the user only sees predicted labels.
-  std::vector<std::int64_t> dims(suite.inputs().front().shape().dims());
-  ip::ReferenceIp ip(model, Shape{dims});
-
-  const auto verdict = validate::validate_ip(ip, suite);
+  const auto verdict = validator->validate(*device);
   std::cout << "\nran " << verdict.tests_run << " tests: ";
   if (verdict.passed) {
     std::cout << "all golden outputs matched -> IP is SECURE\n";

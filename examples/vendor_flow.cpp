@@ -1,29 +1,28 @@
-// Vendor flow — what a DNN IP vendor runs before release (paper Fig 1 left):
-// train (or load) the production model, generate a functional-test suite
-// with the combined method, inspect its coverage, and write the release
-// package plus the serialised model.
+// Vendor flow — what a DNN IP vendor runs before release (paper Fig 1 left),
+// now a thin demo over pipeline::VendorPipeline: train (or load) the
+// production model, run model → calibrate/quantize → generate → qualify →
+// bundle in one call, inspect the coverage report, and write the single
+// release deliverable.
 //
 // Usage:
-//   ./build/examples/vendor_flow [--model mnist|cifar] [--tests 50]
-//                                [--out vendor_release] [--key 12345]
+//   ./build/vendor_flow [--model mnist|cifar] [--method combined]
+//                       [--backend int8|float] [--tests 50] [--pool 500]
+//                       [--out vendor_release] [--key 12345]
 #include <filesystem>
 #include <iostream>
 
-#include "coverage/parameter_coverage.h"
 #include "coverage/report.h"
 #include "exp/model_zoo.h"
-#include "quant/quant_model.h"
-#include "tensor/batch.h"
-#include "testgen/combined_generator.h"
+#include "pipeline/vendor.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "validate/test_suite.h"
 
 int main(int argc, char** argv) {
   using namespace dnnv;
-  const CliArgs args(argc, argv, {"model", "tests", "out", "key", "pool"});
+  const CliArgs args(argc, argv,
+                     {"model", "method", "backend", "tests", "out", "key",
+                      "pool"});
   const std::string which = args.get_string("model", "cifar");
-  const int num_tests = args.get_int("tests", 50);
   const std::string out_dir = args.get_string("out", "vendor_release");
   const auto key = static_cast<std::uint64_t>(args.get_int("key", 987654321));
 
@@ -40,78 +39,70 @@ int main(int argc, char** argv) {
   const auto pool = which == "mnist" ? exp::digits_train(pool_size)
                                      : exp::shapes_train(pool_size);
 
-  std::cout << "generating " << num_tests
-            << " functional tests (combined method)...\n";
-  cov::CoverageAccumulator coverage(
-      static_cast<std::size_t>(trained.model.param_count()));
-  testgen::CombinedGenerator::Options gen_options;
-  gen_options.max_tests = num_tests;
-  gen_options.coverage = trained.coverage;
-  gen_options.gradient.coverage = trained.coverage;
-  gen_options.gradient.steps = 60;
-  const auto tests = testgen::CombinedGenerator(gen_options)
-                         .generate(trained.model, pool.images,
-                                   trained.item_shape, trained.num_classes,
-                                   coverage);
+  // The whole release flow is one façade call; everything below is
+  // configuration and reporting.
+  pipeline::VendorOptions vendor_options;
+  vendor_options.method = args.get_string("method", "combined");
+  vendor_options.backend = args.get_string("backend", "int8");
+  vendor_options.num_tests = args.get_int("tests", 50);
+  vendor_options.generator.coverage = trained.coverage;
+  vendor_options.generator.gradient.steps = 60;
+  vendor_options.model_name = trained.name;
+
+  std::cout << "generating " << vendor_options.num_tests
+            << " functional tests ('" << vendor_options.method
+            << "' method), qualifying on '" << vendor_options.backend
+            << "'...\n";
+  pipeline::VendorReport report;
+  const pipeline::Deliverable deliverable =
+      pipeline::VendorPipeline(vendor_options)
+          .run(trained.model, trained.item_shape, trained.num_classes,
+               pool.images, &report);
 
   int from_training = 0;
-  for (const auto& test : tests.tests) {
+  for (const auto& test : report.generation.tests) {
     if (test.source == testgen::TestSource::kTrainingSample) ++from_training;
   }
   std::cout << "  validation coverage VC(X) = "
-            << format_percent(coverage.coverage()) << " (" << from_training
+            << format_percent(report.coverage) << " (" << from_training
             << " training samples + "
-            << tests.tests.size() - static_cast<std::size_t>(from_training)
+            << report.generation.tests.size() -
+                   static_cast<std::size_t>(from_training)
             << " synthetic)\n";
+  if (report.backend_float_agreement >= 0) {
+    std::cout << "  int8 backend agrees with the float master on "
+              << report.backend_float_agreement << "/"
+              << report.generation.tests.size() << " golden labels";
+    if (deliverable.has_quant) {
+      std::cout << "; analytic logit error bound "
+                << deliverable.qmodel.logit_error_bound();
+    }
+    std::cout << "\n";
+  }
 
   // Per-tensor coverage report — which layers the suite exercises.
   std::cout << "\nper-tensor coverage of the released suite:\n";
   TablePrinter table({"parameter tensor", "covered", "total", "fraction"});
   for (const auto& row :
-       cov::per_layer_coverage(trained.model, coverage.covered())) {
+       cov::per_layer_coverage(trained.model, report.covered)) {
     table.add_row({row.name, std::to_string(row.covered),
                    std::to_string(row.total), format_percent(row.fraction())});
   }
   table.print(std::cout);
 
   std::filesystem::create_directories(out_dir);
-  auto suite = validate::TestSuite::create(trained.model, tests.tests);
-  const std::string package_path = out_dir + "/functional_tests.pkg";
-  suite.save_package(package_path, key);
-  const std::string model_path = out_dir + "/ip_model.dnnv";
-  trained.model.save_file(model_path);
+  const std::string path = out_dir + "/deliverable.dnnv";
+  deliverable.save_file(path, key);
 
-  // ---- Quantized deliverable: the int8 artifact a hardware IP ships ----
-  // Calibrate on the training pool, qualify the suite against the int8
-  // engine's OWN outputs (the user validates the artifact, not the float
-  // master), and package the quantized model with its CRC-protected format.
-  std::cout << "\nquantizing for the int8 IP deliverable...\n";
-  auto qmodel = quant::QuantModel::quantize(trained.model, pool.images);
-  std::cout << "  " << qmodel.summary() << "\n";
-  std::vector<Tensor> suite_inputs;
-  for (const auto& test : tests.tests) suite_inputs.push_back(test.input);
-  const auto int8_golden = qmodel.predict_labels(stack_batch(suite_inputs));
-  int backend_agrees = 0;
-  for (std::size_t i = 0; i < suite_inputs.size(); ++i) {
-    backend_agrees += int8_golden[i] == suite.golden_labels()[i];
-  }
-  std::cout << "  int8 backend agrees with float golden on " << backend_agrees
-            << "/" << suite_inputs.size()
-            << " tests; analytic logit error bound "
-            << qmodel.logit_error_bound() << "\n";
-  auto quant_suite = validate::TestSuite::from_labels(suite_inputs, int8_golden);
-  const std::string quant_package_path = out_dir + "/functional_tests_int8.pkg";
-  quant_suite.save_package(quant_package_path, key);
-  const std::string quant_model_path = out_dir + "/ip_model_int8.dqm8";
-  qmodel.save_file(quant_model_path);
-
-  std::cout << "\nrelease artifacts:\n"
-            << "  " << package_path << "  (encrypted tests + golden outputs)\n"
-            << "  " << model_path << "    (the IP itself — ships as a black box)\n"
-            << "  " << quant_package_path
-            << "  (suite qualified on the int8 engine)\n"
-            << "  " << quant_model_path
-            << "  (int8 weights + fixed-point requant, CRC-32 footer)\n"
-            << "share the package key with licensed users: " << key << "\n";
+  std::cout << "\nrelease artifact (one file):\n"
+            << "  " << path << "  (" << deliverable.manifest.summary()
+            << ")\n"
+            << "contains: the IP model"
+            << (deliverable.has_quant
+                    ? ", the int8 artifact (weights + fixed-point requant)"
+                    : "")
+            << ", the encrypted test suite with golden outputs, and the "
+               "manifest — CRC-32 footed.\n"
+            << "share the release key with licensed users: " << key << "\n";
   return 0;
 }

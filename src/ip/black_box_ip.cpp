@@ -1,11 +1,50 @@
 #include "ip/black_box_ip.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace dnnv::ip {
+namespace {
+
+/// Below this many inputs per worker a clone costs more than it earns.
+constexpr std::size_t kMinInputsPerWorker = 4;
+
+}  // namespace
 
 std::vector<int> BlackBoxIp::predict_all(const std::vector<Tensor>& inputs) {
-  std::vector<int> labels;
-  labels.reserve(inputs.size());
-  for (const auto& input : inputs) labels.push_back(predict(input));
+  std::vector<int> labels(inputs.size(), -1);
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t num_workers =
+      std::min(pool.num_threads(), inputs.size() / kMinInputsPerWorker);
+  if (num_workers >= 2 && !ThreadPool::in_worker()) {
+    // Per-worker clones over contiguous chunks: deterministic (each index
+    // is predicted exactly once, order preserved) and safe for stateful
+    // predict() implementations.
+    std::vector<std::unique_ptr<BlackBoxIp>> clones;
+    clones.reserve(num_workers);
+    while (clones.size() < num_workers) {
+      auto clone = clone_ip();
+      if (clone == nullptr) break;  // backend not cloneable -> serial
+      clones.push_back(std::move(clone));
+    }
+    if (clones.size() == num_workers) {
+      const std::size_t chunk =
+          (inputs.size() + num_workers - 1) / num_workers;
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        pool.submit([&, w] {
+          const std::size_t begin = w * chunk;
+          const std::size_t end = std::min(inputs.size(), begin + chunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            labels[i] = clones[w]->predict(inputs[i]);
+          }
+        });
+      }
+      pool.wait_all();
+      return labels;
+    }
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) labels[i] = predict(inputs[i]);
   return labels;
 }
 

@@ -2,6 +2,7 @@
 #ifndef DNNV_IP_BLACK_BOX_IP_H_
 #define DNNV_IP_BLACK_BOX_IP_H_
 
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -18,8 +19,19 @@ class BlackBoxIp {
   /// Top-1 class label for one un-batched input.
   virtual int predict(const Tensor& input) = 0;
 
-  /// Labels for a set of inputs (default: loops; implementations batch).
+  /// Labels for a set of inputs. Batching backends override this with one
+  /// batched forward; the default chunks the inputs over
+  /// util::ThreadPool with a clone_ip() per worker (predict() is stateful,
+  /// so one instance cannot serve threads concurrently), falling back to a
+  /// serial loop when the backend is not cloneable, the suite is small, or
+  /// the caller already runs inside the pool. Result order always matches
+  /// `inputs`.
   virtual std::vector<int> predict_all(const std::vector<Tensor>& inputs);
+
+  /// Deep copy of the CURRENT device state for parallel suite replay.
+  /// Backends that cannot (or need not) clone keep the default nullptr,
+  /// which keeps replay serial.
+  virtual std::unique_ptr<BlackBoxIp> clone_ip() { return nullptr; }
 
   /// Expected input shape (CHW).
   virtual Shape input_shape() const = 0;

@@ -44,7 +44,29 @@ QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape,
   num_classes_ = static_cast<int>(out[1]);
 
   qmodel_ = quant::QuantModel::quantize(model_, calibration, config);
+  build_memory();
+  // Swap the float mirror onto the dequantized weights (the kDequantFloat
+  // backend must execute the quantized parameters, not the originals).
+  refresh_quant_if_dirty();
+  refresh_float_if_dirty();
+}
 
+QuantizedIp::QuantizedIp(quant::QuantModel shipped, Shape item_shape,
+                         QuantBackend backend)
+    : model_(shipped.dequantized_reference()),
+      qmodel_(std::move(shipped)),
+      item_shape_(std::move(item_shape)),
+      num_classes_(qmodel_.num_classes()),
+      backend_(backend) {
+  build_memory();
+  // memory_ was just built FROM qmodel_'s codes and model_ IS their
+  // dequantization — everything is already consistent, skip the refreshes
+  // (clone_ip() constructs through here once per replay worker).
+  quant_dirty_ = false;
+  float_dirty_ = false;
+}
+
+void QuantizedIp::build_memory() {
   // The weight memory IS the QuantModel's code store, flattened in float
   // param order (weights before bias per layer); one byte per parameter.
   original_params_.reserve(static_cast<std::size_t>(model_.param_count()));
@@ -70,8 +92,6 @@ QuantizedIp::QuantizedIp(const nn::Sequential& model, Shape item_shape,
   DNNV_CHECK(memory_.size() ==
                  static_cast<std::size_t>(model_.param_count()),
              "weight memory does not cover every parameter");
-  refresh_quant_if_dirty();
-  refresh_float_if_dirty();
 }
 
 void QuantizedIp::refresh_quant_if_dirty() {
@@ -173,6 +193,13 @@ float QuantizedIp::quantization_error_bound() const {
     }
   }
   return bound;
+}
+
+std::unique_ptr<BlackBoxIp> QuantizedIp::clone_ip() {
+  // The refreshed QuantModel carries the current memory contents (faults
+  // included), so the clone replays exactly this device's behaviour.
+  refresh_quant_if_dirty();
+  return std::make_unique<QuantizedIp>(qmodel_, item_shape_, backend_);
 }
 
 const quant::QuantModel& QuantizedIp::quant_model() {

@@ -55,8 +55,19 @@ class QuantizedIp : public BlackBoxIp {
               const quant::QuantConfig& config = {},
               QuantBackend backend = QuantBackend::kInt8);
 
+  /// Wraps an ALREADY-quantized artifact (e.g. loaded from a
+  /// pipeline::Deliverable): the weight memory is initialised from the
+  /// model's codes and the float mirror from their dequantization, so the
+  /// fault-injection surface works identically on delivered IPs. There is
+  /// no pre-quantization float master here — the artifact is its own
+  /// reference, so max_quantization_error() reads 0 until the memory is
+  /// faulted (clone_ip() constructs through this path too).
+  QuantizedIp(quant::QuantModel shipped, Shape item_shape,
+              QuantBackend backend = QuantBackend::kInt8);
+
   int predict(const Tensor& input) override;
   std::vector<int> predict_all(const std::vector<Tensor>& inputs) override;
+  std::unique_ptr<BlackBoxIp> clone_ip() override;
   Shape input_shape() const override { return item_shape_; }
   int num_classes() const override { return num_classes_; }
 
@@ -103,6 +114,11 @@ class QuantizedIp : public BlackBoxIp {
   // the default int8 backend never pay for the float mirror.
   void refresh_quant_if_dirty();
   void refresh_float_if_dirty();
+
+  /// Builds memory_/table_ from qmodel_'s codes and snapshots
+  /// original_params_ from model_ (both must be set). Does not touch the
+  /// dirty flags — each constructor decides what still needs refreshing.
+  void build_memory();
 
   nn::Sequential model_;                 // dequantised float-backend model
   quant::QuantModel qmodel_;             // int8-backend executable

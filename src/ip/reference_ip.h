@@ -15,6 +15,7 @@ class ReferenceIp : public BlackBoxIp {
 
   int predict(const Tensor& input) override;
   std::vector<int> predict_all(const std::vector<Tensor>& inputs) override;
+  std::unique_ptr<BlackBoxIp> clone_ip() override;
   Shape input_shape() const override { return item_shape_; }
   int num_classes() const override { return num_classes_; }
 

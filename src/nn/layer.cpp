@@ -27,9 +27,13 @@ void Layer::sensitivity_backward_item(std::size_t, std::int64_t, const Tensor&,
                           "sensitivity pass");
 }
 
-std::int64_t Layer::param_count() {
+std::int64_t Layer::param_count() const {
+  // param_views() hands out mutable buffer pointers, so it is non-const;
+  // counting their sizes is logically const.
   std::int64_t total = 0;
-  for (const auto& view : param_views()) total += view.size;
+  for (const auto& view : const_cast<Layer*>(this)->param_views()) {
+    total += view.size;
+  }
   return total;
 }
 

@@ -92,7 +92,7 @@ class Layer {
   virtual std::vector<ParamView> param_views() { return {}; }
 
   /// Total scalar parameter count.
-  std::int64_t param_count();
+  std::int64_t param_count() const;
 
   /// Zeroes all gradient buffers.
   void zero_grads();

@@ -189,9 +189,9 @@ std::vector<ParamView> Sequential::param_views() {
   return views;
 }
 
-std::int64_t Sequential::param_count() {
+std::int64_t Sequential::param_count() const {
   std::int64_t total = 0;
-  for (auto& layer : layers_) total += layer->param_count();
+  for (const auto& layer : layers_) total += layer->param_count();
   return total;
 }
 

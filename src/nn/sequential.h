@@ -99,7 +99,7 @@ class Sequential {
   std::vector<ParamView> param_views();
 
   /// Total number of scalar parameters.
-  std::int64_t param_count();
+  std::int64_t param_count() const;
 
   float get_param(std::int64_t global_index);
   void set_param(std::int64_t global_index, float value);

@@ -1,0 +1,84 @@
+#include "pipeline/deliverable.h"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+#include "util/protected_file.h"
+
+namespace dnnv::pipeline {
+namespace {
+
+constexpr std::uint32_t kDeliverableMagic = 0x4C444E44;  // "DNDL"
+constexpr std::uint32_t kDeliverableVersion = 1;
+
+}  // namespace
+
+void Manifest::save(ByteWriter& writer) const {
+  writer.write_string(model_name);
+  writer.write_string(method);
+  writer.write_string(backend);
+  writer.write_i64(num_tests);
+  writer.write_f64(coverage);
+}
+
+Manifest Manifest::load(ByteReader& reader) {
+  Manifest manifest;
+  manifest.model_name = reader.read_string();
+  manifest.method = reader.read_string();
+  manifest.backend = reader.read_string();
+  manifest.num_tests = reader.read_i64();
+  manifest.coverage = reader.read_f64();
+  return manifest;
+}
+
+std::string Manifest::summary() const {
+  std::ostringstream os;
+  os << model_name << ": " << num_tests << " '" << method
+     << "' tests qualified on '" << backend << "', VC " << std::fixed
+     << std::setprecision(1) << coverage * 100.0 << "%";
+  return os.str();
+}
+
+void Deliverable::save(ByteWriter& writer) const {
+  manifest.save(writer);
+  model.save(writer);
+  writer.write_u8(has_quant ? 1 : 0);
+  if (has_quant) qmodel.save(writer);
+  suite.save(writer);
+}
+
+Deliverable Deliverable::load(ByteReader& reader) {
+  Deliverable deliverable;
+  deliverable.manifest = Manifest::load(reader);
+  deliverable.model = nn::Sequential::load(reader);
+  deliverable.has_quant = reader.read_u8() != 0;
+  if (deliverable.has_quant) {
+    deliverable.qmodel = quant::QuantModel::load(reader);
+  }
+  deliverable.suite = validate::TestSuite::load(reader);
+  return deliverable;
+}
+
+void Deliverable::save_file(const std::string& path, std::uint64_t key) const {
+  DNNV_CHECK(!suite.empty(), "refusing to ship a deliverable without tests");
+  ByteWriter payload;
+  save(payload);
+  write_protected_file(path, payload.take(), key, kDeliverableMagic,
+                       kDeliverableVersion, "deliverable");
+}
+
+Deliverable Deliverable::load_file(const std::string& path, std::uint64_t key) {
+  ByteReader payload(read_protected_file(path, key, kDeliverableMagic,
+                                         kDeliverableVersion, "deliverable"));
+  // The CRC already passed, so parse failures past this point mean the
+  // keystream decoded garbage — i.e. the key is wrong, not the file.
+  try {
+    return load(payload);
+  } catch (const Error& error) {
+    DNNV_THROW("deliverable rejected — wrong key? (" << error.what() << ")");
+  }
+}
+
+}  // namespace dnnv::pipeline

@@ -1,0 +1,61 @@
+// The single-file vendor→user bundle of paper Fig 1.
+//
+// Everything the IP vendor releases travels in one protected container: the
+// model (the IP itself), the int8 artifact when the suite was qualified on
+// the integer engine, the functional-test suite (X, Y), and a manifest
+// recording how the suite was produced. The byte stream is obfuscated with
+// the release key and CRC-32-footed, so in-transit corruption is detected
+// before any validation runs and the tests are not readable without the key
+// (paper: "X and Y are encrypted").
+#ifndef DNNV_PIPELINE_DELIVERABLE_H_
+#define DNNV_PIPELINE_DELIVERABLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/sequential.h"
+#include "quant/quant_model.h"
+#include "util/serialize.h"
+#include "validate/test_suite.h"
+
+namespace dnnv::pipeline {
+
+/// Provenance record shipped with the bundle.
+struct Manifest {
+  std::string model_name;  ///< vendor's model identifier
+  std::string method;      ///< testgen registry name that generated X
+  std::string backend;     ///< validate backend name Y was qualified on
+  std::int64_t num_tests = 0;
+  double coverage = 0.0;   ///< VC(X) at generation time
+
+  void save(ByteWriter& writer) const;
+  static Manifest load(ByteReader& reader);
+
+  /// "mnist: 50 'combined' tests qualified on 'int8', VC 93.1%" one-liner.
+  std::string summary() const;
+};
+
+/// The release bundle (move-only: it owns a Sequential).
+class Deliverable {
+ public:
+  nn::Sequential model;         ///< the shipped IP (float master)
+  bool has_quant = false;       ///< int8 artifact present
+  quant::QuantModel qmodel;     ///< valid iff has_quant
+  validate::TestSuite suite;    ///< (X, Y) qualified on manifest.backend
+  Manifest manifest;
+
+  void save(ByteWriter& writer) const;
+  static Deliverable load(ByteReader& reader);
+
+  /// Serialises, obfuscates with `key`, appends a CRC-32 footer over the
+  /// obfuscated payload and writes one file.
+  void save_file(const std::string& path, std::uint64_t key) const;
+
+  /// Verifies magic/version/CRC, de-obfuscates and parses; throws
+  /// dnnv::Error on corruption, truncation or a wrong key.
+  static Deliverable load_file(const std::string& path, std::uint64_t key);
+};
+
+}  // namespace dnnv::pipeline
+
+#endif  // DNNV_PIPELINE_DELIVERABLE_H_

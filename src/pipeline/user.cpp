@@ -1,0 +1,40 @@
+#include "pipeline/user.h"
+
+#include <utility>
+
+#include "ip/quantized_ip.h"
+#include "ip/reference_ip.h"
+#include "util/error.h"
+
+namespace dnnv::pipeline {
+
+UserValidator::UserValidator(Deliverable deliverable)
+    : deliverable_(std::move(deliverable)) {
+  DNNV_CHECK(!deliverable_.suite.empty(), "deliverable carries no tests");
+}
+
+UserValidator UserValidator::load_file(const std::string& path,
+                                       std::uint64_t key) {
+  return UserValidator(Deliverable::load_file(path, key));
+}
+
+std::unique_ptr<ip::BlackBoxIp> UserValidator::make_device() const {
+  const Shape item_shape{
+      std::vector<std::int64_t>(deliverable_.suite.inputs().front().shape().dims())};
+  if (deliverable_.has_quant) {
+    return std::make_unique<ip::QuantizedIp>(deliverable_.qmodel, item_shape);
+  }
+  return std::make_unique<ip::ReferenceIp>(deliverable_.model, item_shape);
+}
+
+validate::Verdict UserValidator::validate(bool early_exit) const {
+  const auto device = make_device();
+  return validate(*device, early_exit);
+}
+
+validate::Verdict UserValidator::validate(ip::BlackBoxIp& device,
+                                          bool early_exit) const {
+  return validate::validate_ip(device, deliverable_.suite, early_exit);
+}
+
+}  // namespace dnnv::pipeline

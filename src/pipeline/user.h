@@ -1,0 +1,50 @@
+// User-side façade: load a Deliverable, reconstruct the deployed device,
+// replay the suite (paper Fig 1, right half, as one call).
+#ifndef DNNV_PIPELINE_USER_H_
+#define DNNV_PIPELINE_USER_H_
+
+#include <memory>
+#include <string>
+
+#include "ip/black_box_ip.h"
+#include "pipeline/deliverable.h"
+#include "validate/validator.h"
+
+namespace dnnv::pipeline {
+
+/// Replays a deliverable's suite against the IP it shipped with (or any
+/// external device) and reports the SECURE / TAMPERED verdict.
+class UserValidator {
+ public:
+  /// Takes ownership of an in-memory bundle.
+  explicit UserValidator(Deliverable deliverable);
+
+  /// Loads the bundle from `path` with the shared release key; throws
+  /// dnnv::Error on corruption or a wrong key.
+  static UserValidator load_file(const std::string& path, std::uint64_t key);
+
+  /// Reconstructs a fresh deployed device from the bundle: the int8
+  /// artifact (ip::QuantizedIp with its memory/fault surface) when one was
+  /// shipped, the float reference otherwise. Each call returns a new
+  /// instance — tamper with it freely.
+  std::unique_ptr<ip::BlackBoxIp> make_device() const;
+
+  /// Replays the bundled suite against a freshly reconstructed device.
+  /// An intact bundle must come back SECURE (passed == true) — the
+  /// qualification verdict the vendor shipped.
+  validate::Verdict validate(bool early_exit = false) const;
+
+  /// Replays the bundled suite against an external (possibly tampered)
+  /// device.
+  validate::Verdict validate(ip::BlackBoxIp& device,
+                             bool early_exit = false) const;
+
+  const Deliverable& deliverable() const { return deliverable_; }
+
+ private:
+  Deliverable deliverable_;
+};
+
+}  // namespace dnnv::pipeline
+
+#endif  // DNNV_PIPELINE_USER_H_

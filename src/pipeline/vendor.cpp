@@ -1,0 +1,109 @@
+#include "pipeline/vendor.h"
+
+#include <memory>
+#include <utility>
+
+#include "coverage/parameter_coverage.h"
+#include "tensor/batch.h"
+#include "util/error.h"
+#include "validate/backend.h"
+
+namespace dnnv::pipeline {
+
+VendorPipeline::VendorPipeline(VendorOptions options)
+    : options_(std::move(options)) {
+  DNNV_CHECK(options_.num_tests > 0, "need a positive test budget");
+  DNNV_CHECK(testgen::generator_registered(options_.method),
+             "unknown generation method '" << options_.method << "'");
+  DNNV_CHECK(options_.backend == "float" || options_.backend == "int8",
+             "unknown qualification backend '" << options_.backend
+                                               << "' (float|int8)");
+}
+
+Deliverable VendorPipeline::run(const nn::Sequential& model,
+                                const Shape& item_shape, int num_classes,
+                                const std::vector<Tensor>& pool,
+                                VendorReport* report) const {
+  DNNV_CHECK(!pool.empty(), "vendor pipeline needs a candidate pool");
+
+  Deliverable deliverable;
+  deliverable.model = model.clone();
+
+  // 1. Calibrate + quantize when the shipped artifact executes int8.
+  if (options_.backend == "int8") {
+    deliverable.qmodel =
+        quant::QuantModel::quantize(model, pool, options_.quant);
+    deliverable.has_quant = true;
+  }
+
+  // 2. Generate the functional tests with the named method.
+  testgen::GeneratorConfig config = options_.generator;
+  config.max_tests = options_.num_tests;
+  const auto generator = testgen::make_generator(options_.method, config);
+  cov::CoverageAccumulator accumulator(
+      static_cast<std::size_t>(deliverable.model.param_count()));
+  testgen::GenContext ctx;
+  ctx.model = &model;
+  ctx.pool = &pool;
+  ctx.item_shape = item_shape;
+  ctx.num_classes = num_classes;
+  ctx.accumulator = &accumulator;
+  testgen::GenerationResult generation = generator->generate(ctx);
+  DNNV_CHECK(!generation.tests.empty(),
+             "method '" << options_.method << "' produced no tests");
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(generation.tests.size());
+  for (const auto& test : generation.tests) inputs.push_back(test.input);
+
+  // Methods that do not track parameter coverage while generating ("neuron",
+  // "random") leave the accumulator empty; sweep the generated suite itself
+  // so the manifest records VC(X) — the same provenance metric — for every
+  // method.
+  if (accumulator.covered_count() == 0) {
+    for (const auto& mask :
+         cov::activation_masks(model, inputs, config.coverage)) {
+      accumulator.add(mask);
+    }
+  }
+
+  // 3. Qualify: golden labels are the BACKEND's own outputs on the test
+  // inputs — the user validates the shipped artifact, not the float master.
+  const Tensor batch = stack_batch(inputs);
+  std::unique_ptr<validate::ExecutionBackend> backend;
+  if (options_.backend == "int8") {
+    backend = std::make_unique<validate::Int8Backend>(deliverable.qmodel);
+  } else {
+    backend = std::make_unique<validate::FloatReferenceBackend>(model);
+  }
+  std::vector<int> golden = backend->predict_clean(batch);
+  deliverable.suite = validate::TestSuite::from_labels(inputs, golden);
+
+  // 4. Manifest.
+  deliverable.manifest.model_name = options_.model_name;
+  deliverable.manifest.method = options_.method;
+  deliverable.manifest.backend = backend->name();
+  deliverable.manifest.num_tests =
+      static_cast<std::int64_t>(generation.tests.size());
+  deliverable.manifest.coverage = accumulator.coverage();
+
+  if (report != nullptr) {
+    report->coverage = accumulator.coverage();
+    report->covered = accumulator.covered();
+    report->golden = std::move(golden);
+    report->backend_float_agreement = -1;
+    if (options_.backend == "int8") {
+      const std::vector<int> float_labels =
+          deliverable.model.predict_labels(batch);
+      int agree = 0;
+      for (std::size_t i = 0; i < float_labels.size(); ++i) {
+        agree += report->golden[i] == float_labels[i];
+      }
+      report->backend_float_agreement = agree;
+    }
+    report->generation = std::move(generation);
+  }
+  return deliverable;
+}
+
+}  // namespace dnnv::pipeline

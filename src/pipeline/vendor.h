@@ -1,0 +1,66 @@
+// Vendor-side façade: model → calibrate/quantize → generate → qualify →
+// Deliverable (paper Fig 1, left half, as one call).
+#ifndef DNNV_PIPELINE_VENDOR_H_
+#define DNNV_PIPELINE_VENDOR_H_
+
+#include <string>
+#include <vector>
+
+#include "pipeline/deliverable.h"
+#include "quant/quantize.h"
+#include "testgen/generator.h"
+
+namespace dnnv::pipeline {
+
+/// Everything the vendor flow is parameterised on.
+struct VendorOptions {
+  /// testgen registry name ("combined", "greedy", "gradient", "neuron",
+  /// "random").
+  std::string method = "combined";
+  /// Qualification backend: "float" (suite labels from the float master) or
+  /// "int8" (calibrate + quantize on the pool, labels from the integer
+  /// engine — the artifact the hardware IP actually executes).
+  std::string backend = "float";
+  int num_tests = 50;
+  /// Method knobs; max_tests is overridden by num_tests above.
+  testgen::GeneratorConfig generator;
+  /// Post-training-quantization config (backend == "int8").
+  quant::QuantConfig quant;
+  /// Recorded in the manifest.
+  std::string model_name = "ip";
+};
+
+/// Observability sidecar of a run (everything the bundle itself does not
+/// carry).
+struct VendorReport {
+  testgen::GenerationResult generation;  ///< tests + coverage trajectory
+  double coverage = 0.0;                 ///< final VC(X)
+  DynamicBitset covered;                 ///< the covered parameter set
+  std::vector<int> golden;               ///< qualification labels
+  /// Tests where the int8 artifact agrees with the float master
+  /// (backend == "int8" only; -1 otherwise).
+  int backend_float_agreement = -1;
+};
+
+/// Runs the full vendor release flow. Stateless apart from its options;
+/// reusable across models.
+class VendorPipeline {
+ public:
+  explicit VendorPipeline(VendorOptions options);
+
+  /// `pool` doubles as the generation candidate set and (for "int8") the
+  /// calibration pool. Returns the release bundle; `report` (optional)
+  /// receives the run's diagnostics.
+  Deliverable run(const nn::Sequential& model, const Shape& item_shape,
+                  int num_classes, const std::vector<Tensor>& pool,
+                  VendorReport* report = nullptr) const;
+
+  const VendorOptions& options() const { return options_; }
+
+ private:
+  VendorOptions options_;
+};
+
+}  // namespace dnnv::pipeline
+
+#endif  // DNNV_PIPELINE_VENDOR_H_

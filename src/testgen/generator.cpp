@@ -1,0 +1,244 @@
+#include "testgen/generator.h"
+
+#include <map>
+#include <utility>
+
+#include "testgen/gradient_generator.h"
+#include "testgen/greedy_selector.h"
+#include "testgen/neuron_selector.h"
+#include "util/error.h"
+
+namespace dnnv::testgen {
+namespace {
+
+const nn::Sequential& require_model(const GenContext& ctx, const char* method) {
+  DNNV_CHECK(ctx.model != nullptr, method << " generator needs ctx.model");
+  return *ctx.model;
+}
+
+const std::vector<Tensor>& require_pool(const GenContext& ctx,
+                                        const char* method) {
+  DNNV_CHECK(ctx.pool != nullptr, method << " generator needs ctx.pool");
+  return *ctx.pool;
+}
+
+void require_item(const GenContext& ctx, const char* method) {
+  DNNV_CHECK(ctx.item_shape.ndim() > 0,
+             method << " generator needs ctx.item_shape");
+  DNNV_CHECK(ctx.num_classes > 0, method << " generator needs ctx.num_classes");
+}
+
+/// Resolves the shared accumulator, or backs the run with `scratch` when the
+/// caller did not pass one (the trajectory still reaches the result).
+cov::CoverageAccumulator& resolve_accumulator(
+    const GenContext& ctx, std::unique_ptr<cov::CoverageAccumulator>& scratch) {
+  if (ctx.accumulator != nullptr) return *ctx.accumulator;
+  const std::size_t universe =
+      ctx.masks != nullptr && !ctx.masks->empty()
+          ? ctx.masks->front().size()
+          : static_cast<std::size_t>(ctx.model->param_count());
+  scratch = std::make_unique<cov::CoverageAccumulator>(universe);
+  return *scratch;
+}
+
+// ---- Adapters (delegate to the pre-registry classes verbatim) ----
+
+class GreedyAdapter final : public Generator {
+ public:
+  explicit GreedyAdapter(const GeneratorConfig& config) {
+    options_.max_tests = config.max_tests;
+    options_.coverage = config.coverage;
+    options_.stop_on_zero_gain = config.stop_on_zero_gain;
+  }
+
+  std::string name() const override { return "greedy"; }
+
+  GenerationResult generate(const GenContext& ctx) const override {
+    const auto& model = require_model(ctx, "greedy");
+    const auto& pool = require_pool(ctx, "greedy");
+    std::unique_ptr<cov::CoverageAccumulator> scratch;
+    auto& accumulator = resolve_accumulator(ctx, scratch);
+    const GreedySelector selector(options_);
+    if (ctx.masks != nullptr) {
+      std::vector<bool> used(pool.size(), false);
+      return selector.select_with_masks(pool, *ctx.masks, accumulator, used);
+    }
+    return selector.select(model, pool, accumulator);
+  }
+
+ private:
+  GreedySelector::Options options_;
+};
+
+class GradientAdapter final : public Generator {
+ public:
+  explicit GradientAdapter(const GeneratorConfig& config) {
+    options_ = config.gradient;
+    options_.max_tests = config.max_tests;
+    options_.coverage = config.coverage;
+  }
+
+  std::string name() const override { return "gradient"; }
+
+  GenerationResult generate(const GenContext& ctx) const override {
+    const auto& model = require_model(ctx, "gradient");
+    require_item(ctx, "gradient");
+    std::unique_ptr<cov::CoverageAccumulator> scratch;
+    auto& accumulator = resolve_accumulator(ctx, scratch);
+    return GradientGenerator(options_).generate(model, ctx.item_shape,
+                                                ctx.num_classes, accumulator);
+  }
+
+ private:
+  GradientGenerator::Options options_;
+};
+
+class CombinedAdapter final : public Generator {
+ public:
+  explicit CombinedAdapter(const GeneratorConfig& config) {
+    options_.max_tests = config.max_tests;
+    options_.policy = config.policy;
+    options_.probe_refresh = config.probe_refresh;
+    options_.coverage = config.coverage;
+    options_.gradient = config.gradient;
+    options_.gradient.coverage = config.coverage;
+  }
+
+  std::string name() const override { return "combined"; }
+
+  GenerationResult generate(const GenContext& ctx) const override {
+    const auto& model = require_model(ctx, "combined");
+    const auto& pool = require_pool(ctx, "combined");
+    require_item(ctx, "combined");
+    std::unique_ptr<cov::CoverageAccumulator> scratch;
+    auto& accumulator = resolve_accumulator(ctx, scratch);
+    const CombinedGenerator generator(options_);
+    if (ctx.masks != nullptr) {
+      return generator.generate(model, pool, *ctx.masks, ctx.item_shape,
+                                ctx.num_classes, accumulator);
+    }
+    return generator.generate(model, pool, ctx.item_shape, ctx.num_classes,
+                              accumulator);
+  }
+
+ private:
+  CombinedGenerator::Options options_;
+};
+
+class NeuronAdapter final : public Generator {
+ public:
+  explicit NeuronAdapter(const GeneratorConfig& config) {
+    options_.max_tests = config.max_tests;
+    options_.coverage = config.neuron;
+    options_.fill_seed = config.neuron_fill_seed;
+  }
+
+  std::string name() const override { return "neuron"; }
+
+  GenerationResult generate(const GenContext& ctx) const override {
+    const auto& model = require_model(ctx, "neuron");
+    const auto& pool = require_pool(ctx, "neuron");
+    DNNV_CHECK(ctx.item_shape.ndim() > 0,
+               "neuron generator needs ctx.item_shape");
+    return NeuronCoverageSelector(options_).select(model, ctx.item_shape, pool);
+  }
+
+ private:
+  NeuronCoverageSelector::Options options_;
+};
+
+class RandomAdapter final : public Generator {
+ public:
+  explicit RandomAdapter(const GeneratorConfig& config)
+      : max_tests_(config.max_tests), seed_(config.random_seed) {}
+
+  std::string name() const override { return "random"; }
+
+  GenerationResult generate(const GenContext& ctx) const override {
+    const auto& pool = require_pool(ctx, "random");
+    GenerationResult result = RandomSelector(max_tests_, seed_).select(pool);
+    // With pool masks at hand the control also reports its parameter-coverage
+    // trajectory (what Fig 3 plots for the random curve).
+    if (ctx.masks != nullptr) {
+      DNNV_CHECK(ctx.masks->size() == pool.size(), "pool/mask size mismatch");
+      std::unique_ptr<cov::CoverageAccumulator> scratch;
+      auto& accumulator = resolve_accumulator(ctx, scratch);
+      for (const auto& test : result.tests) {
+        accumulator.add(
+            (*ctx.masks)[static_cast<std::size_t>(test.pool_index)]);
+        result.coverage_after.push_back(accumulator.coverage());
+      }
+      result.final_coverage = accumulator.coverage();
+    }
+    return result;
+  }
+
+ private:
+  int max_tests_;
+  std::uint64_t seed_;
+};
+
+template <typename Adapter>
+GeneratorFactory factory_of() {
+  return [](const GeneratorConfig& config) -> std::unique_ptr<Generator> {
+    return std::make_unique<Adapter>(config);
+  };
+}
+
+struct Registry {
+  std::map<std::string, GeneratorFactory> factories;
+  std::vector<std::string> order;
+
+  void add(const std::string& name, GeneratorFactory factory) {
+    if (factories.emplace(name, factory).second) {
+      order.push_back(name);
+    } else {
+      factories[name] = std::move(factory);
+    }
+  }
+
+  static Registry& instance() {
+    static Registry registry = [] {
+      Registry r;
+      r.add("greedy", factory_of<GreedyAdapter>());
+      r.add("gradient", factory_of<GradientAdapter>());
+      r.add("combined", factory_of<CombinedAdapter>());
+      r.add("neuron", factory_of<NeuronAdapter>());
+      r.add("random", factory_of<RandomAdapter>());
+      return r;
+    }();
+    return registry;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_generator(const std::string& name,
+                                          const GeneratorConfig& config) {
+  const auto& registry = Registry::instance();
+  const auto it = registry.factories.find(name);
+  if (it == registry.factories.end()) {
+    std::string known;
+    for (const auto& n : registry.order) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    DNNV_THROW("unknown generator '" << name << "' (registered: " << known
+                                     << ")");
+  }
+  return it->second(config);
+}
+
+bool generator_registered(const std::string& name) {
+  return Registry::instance().factories.count(name) > 0;
+}
+
+std::vector<std::string> generator_names() {
+  return Registry::instance().order;
+}
+
+void register_generator(const std::string& name, GeneratorFactory factory) {
+  Registry::instance().add(name, std::move(factory));
+}
+
+}  // namespace dnnv::testgen

@@ -1,0 +1,47 @@
+#include "util/protected_file.h"
+
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/keystream.h"
+#include "util/serialize.h"
+
+namespace dnnv {
+
+void write_protected_file(const std::string& path,
+                          std::vector<std::uint8_t> payload, std::uint64_t key,
+                          std::uint32_t magic, std::uint32_t version,
+                          const char* what) {
+  DNNV_CHECK(!payload.empty(), "refusing to write an empty " << what);
+  keystream_xor(payload, key);
+
+  ByteWriter file;
+  file.write_u32(magic);
+  file.write_u32(version);
+  file.write_u32(crc32(payload));
+  file.write_u64(payload.size());
+  file.write_bytes(payload.data(), payload.size());
+  write_file(path, file.bytes());
+}
+
+std::vector<std::uint8_t> read_protected_file(const std::string& path,
+                                              std::uint64_t key,
+                                              std::uint32_t magic,
+                                              std::uint32_t version,
+                                              const char* what) {
+  ByteReader file(read_file(path));
+  DNNV_CHECK(file.read_u32() == magic, "not a dnnv " << what);
+  DNNV_CHECK(file.read_u32() == version, "unsupported " << what << " version");
+  const std::uint32_t expected_crc = file.read_u32();
+  const std::uint64_t cipher_size = file.read_u64();
+  DNNV_CHECK(cipher_size == file.remaining(), "truncated " << what);
+  std::vector<std::uint8_t> cipher =
+      file.read_bytes(static_cast<std::size_t>(cipher_size));
+  DNNV_CHECK(crc32(cipher) == expected_crc,
+             what << " integrity check failed (corrupted in transit?)");
+  keystream_xor(cipher, key);
+  return cipher;
+}
+
+}  // namespace dnnv

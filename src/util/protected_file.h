@@ -1,0 +1,37 @@
+// Shared protected-container file format: keyed keystream obfuscation plus
+// a CRC-32 footer under a magic/version header. Used by the test-suite
+// package (validate::TestSuite) and the release bundle
+// (pipeline::Deliverable) so their encode/verify paths evolve together.
+//
+// Layout: u32 magic | u32 version | u32 crc32(cipher) | u64 size | cipher.
+// The CRC covers the OBFUSCATED payload, so in-transit corruption is
+// detected without the key; a wrong key decodes to garbage that the
+// caller's payload parser rejects.
+#ifndef DNNV_UTIL_PROTECTED_FILE_H_
+#define DNNV_UTIL_PROTECTED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnv {
+
+/// Obfuscates `payload` with `key`, frames it with magic/version/CRC and
+/// writes `path`.
+void write_protected_file(const std::string& path,
+                          std::vector<std::uint8_t> payload, std::uint64_t key,
+                          std::uint32_t magic, std::uint32_t version,
+                          const char* what);
+
+/// Verifies magic, version, truncation and CRC, then de-obfuscates and
+/// returns the plaintext payload. Throws dnnv::Error naming `what` on any
+/// mismatch.
+std::vector<std::uint8_t> read_protected_file(const std::string& path,
+                                              std::uint64_t key,
+                                              std::uint32_t magic,
+                                              std::uint32_t version,
+                                              const char* what);
+
+}  // namespace dnnv
+
+#endif  // DNNV_UTIL_PROTECTED_FILE_H_

@@ -25,17 +25,17 @@ void check_config(const TestSuite& suite, const std::vector<Tensor>& victims,
   }
 }
 
-/// Runs the trial loop over the shared pool. `replay` is invoked per trial
-/// on a worker-local model carrying the applied perturbation and returns the
-/// replayed suite labels; `golden` is compared index-wise for the first
-/// detection. Worker-local state lives in the closures; per-trial rngs are
-/// derived from (seed, trial) so results are thread-count independent.
-template <typename MakeWorkerFn>
-std::vector<int> run_trials(const attack::Attack& attack,
+/// Runs the trial loop over the shared pool. Each worker owns a float clone
+/// of `model` (the attack surface) and a backend replay session; per-trial
+/// rngs are derived from (seed, trial) so results are thread-count
+/// independent.
+std::vector<int> run_trials(const nn::Sequential& model,
+                            ExecutionBackend& backend,
+                            const Tensor& suite_batch,
+                            const attack::Attack& attack,
                             const std::vector<Tensor>& victims,
                             const DetectionConfig& config,
-                            const std::vector<int>& golden,
-                            const MakeWorkerFn& make_worker) {
+                            const std::vector<int>& golden) {
   std::vector<int> first_detection(static_cast<std::size_t>(config.trials),
                                    -1);  // -1 = dropped
   ThreadPool& pool = ThreadPool::shared();
@@ -46,9 +46,8 @@ std::vector<int> run_trials(const attack::Attack& attack,
 
   for (std::size_t w = 0; w < num_workers; ++w) {
     pool.submit([&, w] {
-      auto worker = make_worker();  // (local model, replay fn) pair
-      nn::Sequential& local = worker.first;
-      auto& replay = worker.second;
+      nn::Sequential local = model.clone();
+      ExecutionBackend::Replay replay = backend.make_replay(suite_batch);
       const std::size_t begin = w * chunk;
       const std::size_t end = std::min<std::size_t>(
           static_cast<std::size_t>(config.trials), begin + chunk);
@@ -68,6 +67,11 @@ std::vector<int> run_trials(const attack::Attack& attack,
         perturbation.apply(local);
         const std::vector<int> labels = replay(local);
         perturbation.revert(local);
+        DNNV_CHECK(labels.size() == golden.size(),
+                   "backend replay returned " << labels.size()
+                                              << " labels for a "
+                                              << golden.size()
+                                              << "-test suite");
 
         int first = kNotDetected;
         for (std::size_t i = 0; i < golden.size(); ++i) {
@@ -119,21 +123,28 @@ DetectionOutcome aggregate(const std::vector<int>& first_detection,
 
 DetectionOutcome run_detection(const nn::Sequential& model,
                                const TestSuite& suite,
+                               ExecutionBackend& backend,
                                const attack::Attack& attack,
                                const std::vector<Tensor>& victims,
                                const DetectionConfig& config) {
   check_config(suite, victims, config);
   const Tensor suite_batch = stack_batch(suite.inputs());
-  const auto& golden = suite.golden_labels();
-
-  auto make_worker = [&] {
-    auto replay = [&suite_batch](nn::Sequential& local) {
-      return local.predict_labels(suite_batch);
-    };
-    return std::make_pair(model.clone(), replay);
-  };
-  return aggregate(run_trials(attack, victims, config, golden, make_worker),
+  const std::vector<int> golden = backend.golden_labels(suite, suite_batch);
+  DNNV_CHECK(golden.size() == suite.size(),
+             "backend '" << backend.name() << "' qualified " << golden.size()
+                         << " labels for a " << suite.size() << "-test suite");
+  return aggregate(run_trials(model, backend, suite_batch, attack, victims,
+                              config, golden),
                    config, attack);
+}
+
+DetectionOutcome run_detection(const nn::Sequential& model,
+                               const TestSuite& suite,
+                               const attack::Attack& attack,
+                               const std::vector<Tensor>& victims,
+                               const DetectionConfig& config) {
+  FloatReferenceBackend backend(model);
+  return run_detection(model, suite, backend, attack, victims, config);
 }
 
 DetectionOutcome run_detection_quantized(const nn::Sequential& model,
@@ -142,29 +153,8 @@ DetectionOutcome run_detection_quantized(const nn::Sequential& model,
                                          const attack::Attack& attack,
                                          const std::vector<Tensor>& victims,
                                          const DetectionConfig& config) {
-  check_config(suite, victims, config);
-  const Tensor suite_batch = stack_batch(suite.inputs());
-  // The user validates the shipped int8 artifact: golden labels come from
-  // the clean quantized model, not from suite.golden_labels() (which a
-  // vendor may have produced on the float master).
-  const std::vector<int> golden = [&] {
-    quant::QuantModel clean = shipped;
-    return clean.predict_labels(suite_batch);
-  }();
-
-  auto make_worker = [&] {
-    // One float clone (attack surface) + one QuantModel clone (device under
-    // test) per worker; activation calibration is frozen, weight codes
-    // refresh from the perturbed float parameters each trial.
-    auto local_quant = std::make_shared<quant::QuantModel>(shipped);
-    auto replay = [local_quant, &suite_batch](nn::Sequential& local) {
-      local_quant->requantize_weights_from(local);
-      return local_quant->predict_labels(suite_batch);
-    };
-    return std::make_pair(model.clone(), replay);
-  };
-  return aggregate(run_trials(attack, victims, config, golden, make_worker),
-                   config, attack);
+  Int8Backend backend(shipped);
+  return run_detection(model, suite, backend, attack, victims, config);
 }
 
 }  // namespace dnnv::validate

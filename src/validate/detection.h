@@ -13,6 +13,7 @@
 #include "attack/attack.h"
 #include "nn/sequential.h"
 #include "quant/quant_model.h"
+#include "validate/backend.h"
 #include "validate/test_suite.h"
 
 namespace dnnv::validate {
@@ -34,23 +35,35 @@ struct DetectionOutcome {
   double mean_first_detection = 0.0;   ///< over detected trials
 };
 
-/// Runs the experiment in parallel (per-worker model clones); deterministic
-/// in config.seed regardless of thread count.
+/// THE detection loop, written once against ExecutionBackend. Per trial:
+/// the attack crafts a float parameter perturbation on a worker-local clone
+/// of `model` (the attacker works on the float master, as in the
+/// supply-chain threat model), the backend replays the suite on the
+/// deployed artifact carrying that perturbation, and the first label
+/// mismatch against backend.golden_labels() is recorded. Runs in parallel
+/// (per-worker replay sessions from backend.make_replay); deterministic in
+/// config.seed regardless of thread count.
+DetectionOutcome run_detection(const nn::Sequential& model,
+                               const TestSuite& suite,
+                               ExecutionBackend& backend,
+                               const attack::Attack& attack,
+                               const std::vector<Tensor>& victims,
+                               const DetectionConfig& config);
+
+/// Float-reference wrapper: run_detection over FloatReferenceBackend
+/// (golden labels = the suite's shipped labels).
 DetectionOutcome run_detection(const nn::Sequential& model,
                                const TestSuite& suite,
                                const attack::Attack& attack,
                                const std::vector<Tensor>& victims,
                                const DetectionConfig& config);
 
-/// Quantized-backend variant: the IP under test executes int8. Per trial the
-/// attack crafts a float parameter perturbation (the attacker works on the
-/// float master, as in the supply-chain threat model), the perturbed model
-/// is re-quantized onto `shipped`'s FIXED calibration (activation scales
-/// and LUTs are an offline vendor step; only weight/bias codes refresh),
-/// and the suite is replayed on the integer engine. Golden labels are the
-/// clean quantized model's own outputs on the suite inputs — the user
-/// validates the shipped artifact, not the float master. Deterministic in
-/// config.seed regardless of thread count (integer execution is exact).
+/// Int8 wrapper: run_detection over Int8Backend — the perturbed float
+/// master re-quantizes onto `shipped`'s FIXED calibration each trial
+/// (activation scales and LUTs are an offline vendor step; only weight/bias
+/// codes refresh) and the suite replays on the integer engine. Golden
+/// labels are the clean quantized model's own outputs on the suite inputs —
+/// the user validates the shipped artifact, not the float master.
 DetectionOutcome run_detection_quantized(const nn::Sequential& model,
                                          const quant::QuantModel& shipped,
                                          const TestSuite& suite,

@@ -1,9 +1,10 @@
 #include "validate/test_suite.h"
 
+#include <utility>
+
 #include "tensor/batch.h"
-#include "util/crc32.h"
 #include "util/error.h"
-#include "util/keystream.h"
+#include "util/protected_file.h"
 
 namespace dnnv::validate {
 
@@ -51,68 +52,61 @@ TestSuite TestSuite::prefix(std::size_t count) const {
   return out;
 }
 
-void TestSuite::save_package(const std::string& path, std::uint64_t key) const {
-  DNNV_CHECK(!empty(), "refusing to package an empty suite");
-  ByteWriter payload;
-  payload.write_u64(inputs_.size());
+void TestSuite::save(ByteWriter& writer) const {
+  DNNV_CHECK(!empty(), "refusing to serialise an empty suite");
+  writer.write_u64(inputs_.size());
   // All inputs share a shape; store it once.
   const Shape& shape = inputs_.front().shape();
-  payload.write_u64(shape.ndim());
+  writer.write_u64(shape.ndim());
   for (std::size_t d = 0; d < shape.ndim(); ++d) {
-    payload.write_i64(shape[d]);
+    writer.write_i64(shape[d]);
   }
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     DNNV_CHECK(inputs_[i].shape() == shape, "suite inputs must share a shape");
-    payload.write_f32_array(inputs_[i].data(),
-                            static_cast<std::size_t>(inputs_[i].numel()));
-    payload.write_i64(golden_labels_[i]);
+    writer.write_f32_array(inputs_[i].data(),
+                           static_cast<std::size_t>(inputs_[i].numel()));
+    writer.write_i64(golden_labels_[i]);
   }
-
-  std::vector<std::uint8_t> cipher = payload.take();
-  keystream_xor(cipher, key);
-
-  ByteWriter file;
-  file.write_u32(kPackageMagic);
-  file.write_u32(kPackageVersion);
-  file.write_u32(crc32(cipher));
-  file.write_u64(cipher.size());
-  file.write_bytes(cipher.data(), cipher.size());
-  write_file(path, file.bytes());
 }
 
-TestSuite TestSuite::load_package(const std::string& path, std::uint64_t key) {
-  ByteReader file(read_file(path));
-  DNNV_CHECK(file.read_u32() == kPackageMagic, "not a dnnv test package");
-  DNNV_CHECK(file.read_u32() == kPackageVersion, "unsupported package version");
-  const std::uint32_t expected_crc = file.read_u32();
-  const std::uint64_t cipher_size = file.read_u64();
-  DNNV_CHECK(cipher_size == file.remaining(), "truncated package");
-  std::vector<std::uint8_t> cipher;
-  cipher.reserve(cipher_size);
-  for (std::uint64_t i = 0; i < cipher_size; ++i) cipher.push_back(file.read_u8());
-  DNNV_CHECK(crc32(cipher) == expected_crc,
-             "package integrity check failed (corrupted in transit?)");
-  keystream_xor(cipher, key);
-
-  ByteReader payload(std::move(cipher));
-  const std::uint64_t count = payload.read_u64();
-  const std::uint64_t ndim = payload.read_u64();
-  DNNV_CHECK(count > 0 && count < (1u << 20), "implausible test count — wrong key?");
-  DNNV_CHECK(ndim > 0 && ndim <= 8, "implausible tensor rank — wrong key?");
+TestSuite TestSuite::load(ByteReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  const std::uint64_t ndim = reader.read_u64();
+  DNNV_CHECK(count > 0 && count < (1u << 20), "implausible test count");
+  DNNV_CHECK(ndim > 0 && ndim <= 8, "implausible tensor rank");
   std::vector<std::int64_t> dims;
   for (std::uint64_t d = 0; d < ndim; ++d) {
-    dims.push_back(payload.read_i64());
+    dims.push_back(reader.read_i64());
     DNNV_CHECK(dims.back() > 0 && dims.back() < (1 << 20),
-               "implausible dimension — wrong key?");
+               "implausible dimension");
   }
   const Shape shape{dims};
   TestSuite suite;
   for (std::uint64_t i = 0; i < count; ++i) {
-    auto values = payload.read_f32_array(static_cast<std::size_t>(shape.numel()));
+    auto values = reader.read_f32_array(static_cast<std::size_t>(shape.numel()));
     suite.inputs_.emplace_back(shape, std::move(values));
-    suite.golden_labels_.push_back(static_cast<int>(payload.read_i64()));
+    suite.golden_labels_.push_back(static_cast<int>(reader.read_i64()));
   }
   return suite;
+}
+
+void TestSuite::save_package(const std::string& path, std::uint64_t key) const {
+  ByteWriter payload;
+  save(payload);
+  write_protected_file(path, payload.take(), key, kPackageMagic,
+                       kPackageVersion, "test package");
+}
+
+TestSuite TestSuite::load_package(const std::string& path, std::uint64_t key) {
+  ByteReader payload(read_protected_file(path, key, kPackageMagic,
+                                         kPackageVersion, "test package"));
+  // The CRC already passed, so parse failures past this point mean the
+  // keystream decoded garbage — i.e. the key is wrong, not the file.
+  try {
+    return load(payload);
+  } catch (const Error& error) {
+    DNNV_THROW("package rejected — wrong key? (" << error.what() << ")");
+  }
 }
 
 }  // namespace dnnv::validate

@@ -7,6 +7,7 @@
 
 #include "nn/sequential.h"
 #include "testgen/functional_test.h"
+#include "util/serialize.h"
 
 namespace dnnv::validate {
 
@@ -52,6 +53,13 @@ class TestSuite {
   /// Loads, checks CRC, de-obfuscates and parses; throws dnnv::Error on
   /// corruption or wrong key.
   static TestSuite load_package(const std::string& path, std::uint64_t key);
+
+  /// Raw (un-obfuscated) serialisation — for embedding a suite inside a
+  /// larger protected container (pipeline::Deliverable).
+  void save(ByteWriter& writer) const;
+
+  /// Inverse of save(); throws dnnv::Error on malformed bytes.
+  static TestSuite load(ByteReader& reader);
 
  private:
   std::vector<Tensor> inputs_;

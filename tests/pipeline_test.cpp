@@ -1,0 +1,599 @@
+// Pipeline/API-redesign tests: the generator registry must be bit-identical
+// to the pre-redesign entry points, the ExecutionBackend detection loop must
+// reproduce the historical harnesses, the Deliverable must round-trip (and
+// reject corruption), and the parallel BlackBoxIp::predict_all default must
+// match the serial loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "attack/random_perturbation.h"
+#include "attack/sba.h"
+#include "exp/model_zoo.h"
+#include "ip/quantized_ip.h"
+#include "ip/reference_ip.h"
+#include "nn/builder.h"
+#include "pipeline/user.h"
+#include "pipeline/vendor.h"
+#include "quant/quant_model.h"
+#include "tensor/batch.h"
+#include "testgen/generator.h"
+#include "testgen/gradient_generator.h"
+#include "testgen/greedy_selector.h"
+#include "testgen/neuron_selector.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "validate/backend.h"
+#include "validate/detection.h"
+
+namespace dnnv {
+namespace {
+
+using nn::ActivationKind;
+using nn::Sequential;
+
+Sequential small_relu_net(std::uint64_t seed = 21) {
+  Rng rng(seed);
+  return nn::build_mlp(6, {10, 8}, 4, ActivationKind::kReLU, rng);
+}
+
+std::vector<Tensor> random_pool(int count, std::uint64_t seed = 22) {
+  Rng rng(seed);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < count; ++i) {
+    pool.push_back(Tensor::rand_uniform(Shape{6}, rng, -1.0f, 1.0f));
+  }
+  return pool;
+}
+
+/// Exact equality of two generation results (inputs compared by distance).
+void expect_identical(const testgen::GenerationResult& a,
+                      const testgen::GenerationResult& b) {
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].source, b.tests[i].source) << "test " << i;
+    EXPECT_EQ(a.tests[i].pool_index, b.tests[i].pool_index) << "test " << i;
+    EXPECT_DOUBLE_EQ(
+        squared_distance(a.tests[i].input, b.tests[i].input), 0.0)
+        << "test " << i;
+  }
+  EXPECT_EQ(a.coverage_after, b.coverage_after);
+  EXPECT_EQ(a.final_coverage, b.final_coverage);
+  EXPECT_EQ(a.decisions.size(), b.decisions.size());
+}
+
+exp::ZooOptions tiny_options() {
+  exp::ZooOptions options;
+  options.tiny = true;
+  options.cache_dir =
+      (std::filesystem::temp_directory_path() / "dnnv_test_zoo").string();
+  return options;
+}
+
+// ---------- Generator registry ----------
+
+TEST(GeneratorRegistryTest, AllFiveMethodsRegistered) {
+  const std::vector<std::string> expected = {"greedy", "gradient", "combined",
+                                             "neuron", "random"};
+  // Built-ins register first; custom generators (other tests register one
+  // into the process-wide registry) append after them.
+  const auto names = testgen::generator_names();
+  ASSERT_GE(names.size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), names.begin()))
+      << "built-in generators missing or reordered";
+  for (const auto& name : expected) {
+    EXPECT_TRUE(testgen::generator_registered(name));
+    const auto generator = testgen::make_generator(name);
+    ASSERT_NE(generator, nullptr);
+    EXPECT_EQ(generator->name(), name);
+  }
+  EXPECT_FALSE(testgen::generator_registered("nope"));
+  EXPECT_THROW(testgen::make_generator("nope"), Error);
+}
+
+TEST(GeneratorRegistryTest, CustomGeneratorsCanRegister) {
+  testgen::register_generator(
+      "custom-empty", [](const testgen::GeneratorConfig&) {
+        class Empty final : public testgen::Generator {
+         public:
+          std::string name() const override { return "custom-empty"; }
+          testgen::GenerationResult generate(
+              const testgen::GenContext&) const override {
+            return {};
+          }
+        };
+        return std::make_unique<Empty>();
+      });
+  EXPECT_TRUE(testgen::generator_registered("custom-empty"));
+  EXPECT_TRUE(
+      testgen::make_generator("custom-empty")->generate({}).tests.empty());
+}
+
+TEST(GeneratorRegistryTest, MissingContextFieldsThrow) {
+  const Sequential model = small_relu_net();
+  testgen::GenContext ctx;  // everything missing
+  EXPECT_THROW(testgen::make_generator("greedy")->generate(ctx), Error);
+  ctx.model = &model;
+  EXPECT_THROW(testgen::make_generator("combined")->generate(ctx), Error);
+  EXPECT_THROW(testgen::make_generator("gradient")->generate(ctx), Error);
+  EXPECT_THROW(testgen::make_generator("random")->generate(ctx), Error);
+}
+
+TEST(GeneratorRegistryTest, GreedyMatchesDirectEntryPoint) {
+  const Sequential model = small_relu_net(31);
+  const auto pool = random_pool(30, 32);
+  const auto universe = static_cast<std::size_t>(model.param_count());
+
+  testgen::GreedySelector::Options direct_options;
+  direct_options.max_tests = 12;
+  cov::CoverageAccumulator direct_acc(universe);
+  const auto direct =
+      testgen::GreedySelector(direct_options).select(model, pool, direct_acc);
+
+  testgen::GeneratorConfig config;
+  config.max_tests = 12;
+  cov::CoverageAccumulator registry_acc(universe);
+  testgen::GenContext ctx;
+  ctx.model = &model;
+  ctx.pool = &pool;
+  ctx.accumulator = &registry_acc;
+  const auto via_registry =
+      testgen::make_generator("greedy", config)->generate(ctx);
+
+  expect_identical(direct, via_registry);
+  EXPECT_EQ(direct_acc.covered_count(), registry_acc.covered_count());
+
+  // With precomputed masks the adapter must route to select_with_masks and
+  // still land on the same picks.
+  const auto masks = cov::activation_masks(model, pool, config.coverage);
+  cov::CoverageAccumulator masked_acc(universe);
+  ctx.masks = &masks;
+  ctx.accumulator = &masked_acc;
+  expect_identical(direct,
+                   testgen::make_generator("greedy", config)->generate(ctx));
+}
+
+TEST(GeneratorRegistryTest, GradientMatchesDirectEntryPoint) {
+  const Sequential model = small_relu_net(41);
+  const auto universe = static_cast<std::size_t>(model.param_count());
+
+  testgen::GradientGenerator::Options direct_options;
+  direct_options.max_tests = 8;
+  direct_options.steps = 15;
+  cov::CoverageAccumulator direct_acc(universe);
+  const auto direct = testgen::GradientGenerator(direct_options)
+                          .generate(model, Shape{6}, 4, direct_acc);
+
+  testgen::GeneratorConfig config;
+  config.max_tests = 8;
+  config.gradient.steps = 15;
+  cov::CoverageAccumulator registry_acc(universe);
+  testgen::GenContext ctx;
+  ctx.model = &model;
+  ctx.item_shape = Shape{6};
+  ctx.num_classes = 4;
+  ctx.accumulator = &registry_acc;
+  expect_identical(direct,
+                   testgen::make_generator("gradient", config)->generate(ctx));
+}
+
+TEST(GeneratorRegistryTest, CombinedMatchesDirectEntryPoint) {
+  const Sequential model = small_relu_net(51);
+  const auto pool = random_pool(20, 52);
+  const auto universe = static_cast<std::size_t>(model.param_count());
+
+  testgen::CombinedGenerator::Options direct_options;
+  direct_options.max_tests = 16;
+  direct_options.gradient.steps = 20;
+  cov::CoverageAccumulator direct_acc(universe);
+  const auto direct =
+      testgen::CombinedGenerator(direct_options)
+          .generate(model, pool, Shape{6}, 4, direct_acc);
+
+  testgen::GeneratorConfig config;
+  config.max_tests = 16;
+  config.gradient.steps = 20;
+  cov::CoverageAccumulator registry_acc(universe);
+  testgen::GenContext ctx;
+  ctx.model = &model;
+  ctx.pool = &pool;
+  ctx.item_shape = Shape{6};
+  ctx.num_classes = 4;
+  ctx.accumulator = &registry_acc;
+  const auto via_registry =
+      testgen::make_generator("combined", config)->generate(ctx);
+  expect_identical(direct, via_registry);
+
+  // Decision traces must agree step for step, not just in size.
+  for (std::size_t i = 0; i < direct.decisions.size(); ++i) {
+    EXPECT_EQ(direct.decisions[i].step, via_registry.decisions[i].step);
+    EXPECT_EQ(direct.decisions[i].chose_synthetic,
+              via_registry.decisions[i].chose_synthetic);
+    EXPECT_DOUBLE_EQ(direct.decisions[i].greedy_gain,
+                     via_registry.decisions[i].greedy_gain);
+    EXPECT_DOUBLE_EQ(direct.decisions[i].synthetic_gain,
+                     via_registry.decisions[i].synthetic_gain);
+  }
+}
+
+TEST(GeneratorRegistryTest, NeuronMatchesDirectEntryPoint) {
+  const Sequential model = small_relu_net(61);
+  const auto pool = random_pool(15, 62);
+
+  testgen::NeuronCoverageSelector::Options direct_options;
+  direct_options.max_tests = 10;
+  const auto direct = testgen::NeuronCoverageSelector(direct_options)
+                          .select(model, Shape{6}, pool);
+
+  testgen::GeneratorConfig config;
+  config.max_tests = 10;
+  testgen::GenContext ctx;
+  ctx.model = &model;
+  ctx.pool = &pool;
+  ctx.item_shape = Shape{6};
+  ctx.num_classes = 4;
+  expect_identical(direct,
+                   testgen::make_generator("neuron", config)->generate(ctx));
+}
+
+TEST(GeneratorRegistryTest, RandomMatchesDirectEntryPoint) {
+  const Sequential model = small_relu_net(71);
+  const auto pool = random_pool(12, 72);
+  const auto direct = testgen::RandomSelector(6, 17).select(pool);
+
+  testgen::GeneratorConfig config;
+  config.max_tests = 6;
+  config.random_seed = 17;
+  testgen::GenContext ctx;
+  ctx.pool = &pool;
+  const auto via_registry =
+      testgen::make_generator("random", config)->generate(ctx);
+  expect_identical(direct, via_registry);
+
+  // With masks the control also reports the trajectory Fig 3 plots.
+  const auto masks = cov::activation_masks(model, pool, cov::CoverageConfig{});
+  const auto universe = static_cast<std::size_t>(model.param_count());
+  cov::CoverageAccumulator acc(universe);
+  ctx.model = &model;
+  ctx.masks = &masks;
+  ctx.accumulator = &acc;
+  const auto traced = testgen::make_generator("random", config)->generate(ctx);
+  ASSERT_EQ(traced.coverage_after.size(), traced.tests.size());
+  EXPECT_EQ(traced.final_coverage, acc.coverage());
+  for (std::size_t i = 0; i < traced.tests.size(); ++i) {
+    EXPECT_EQ(traced.tests[i].pool_index, direct.tests[i].pool_index);
+  }
+}
+
+// ---------- ExecutionBackend ----------
+
+TEST(ExecutionBackendTest, FloatBackendReproducesLegacyDetection) {
+  Sequential model = small_relu_net(81);
+  const auto inputs = random_pool(10, 82);
+  const validate::TestSuite suite = validate::TestSuite::create(model, inputs);
+  const auto victims = random_pool(5, 83);
+
+  attack::SingleBiasAttack attack;
+  validate::DetectionConfig config;
+  config.trials = 40;
+  config.test_counts = {5, 10};
+  config.seed = 99;
+
+  const auto legacy =
+      validate::run_detection(model, suite, attack, victims, config);
+  validate::FloatReferenceBackend backend(model);
+  const auto via_backend =
+      validate::run_detection(model, suite, backend, attack, victims, config);
+  EXPECT_EQ(legacy.rate_per_count, via_backend.rate_per_count);
+  EXPECT_EQ(legacy.successful_trials, via_backend.successful_trials);
+  EXPECT_EQ(legacy.dropped_trials, via_backend.dropped_trials);
+  EXPECT_EQ(legacy.mean_first_detection, via_backend.mean_first_detection);
+}
+
+TEST(ExecutionBackendTest, FloatGoldenLabelsAreTheSuiteLabels) {
+  Sequential model = small_relu_net(85);
+  const auto inputs = random_pool(6, 86);
+  const validate::TestSuite suite = validate::TestSuite::create(model, inputs);
+  const Tensor batch = stack_batch(suite.inputs());
+  validate::FloatReferenceBackend backend(model);
+  EXPECT_EQ(backend.golden_labels(suite, batch), suite.golden_labels());
+  EXPECT_EQ(backend.predict_clean(batch), suite.golden_labels());
+}
+
+TEST(ExecutionBackendTest, FaultApplicationIsAnInvolution) {
+  Sequential model = small_relu_net(91);
+  const auto calibration = random_pool(16, 92);
+  auto qmodel = quant::QuantModel::quantize(model, calibration);
+  std::vector<std::int8_t> before;
+  for (auto& view : qmodel.param_views()) {
+    before.insert(before.end(), view.codes, view.codes + view.size);
+  }
+
+  const std::vector<validate::CodeFault> faults = {
+      {0, 7}, {3, 0}, {before.size() - 1, 4}};
+  validate::apply_code_faults(qmodel, faults);
+  std::vector<std::int8_t> faulted;
+  for (auto& view : qmodel.param_views()) {
+    faulted.insert(faulted.end(), view.codes, view.codes + view.size);
+  }
+  EXPECT_NE(before, faulted);
+
+  validate::apply_code_faults(qmodel, faults);  // XOR twice = identity
+  std::vector<std::int8_t> restored;
+  for (auto& view : qmodel.param_views()) {
+    restored.insert(restored.end(), view.codes, view.codes + view.size);
+  }
+  EXPECT_EQ(before, restored);
+
+  EXPECT_THROW(
+      validate::apply_code_faults(
+          qmodel, {{static_cast<std::size_t>(qmodel.param_count()), 0}}),
+      Error);
+}
+
+TEST(ExecutionBackendTest, FaultInjectedBackendRunsTheSharedLoop) {
+  Sequential model = small_relu_net(95);
+  const auto inputs = random_pool(10, 96);
+  const auto calibration = random_pool(32, 97);
+  auto qmodel = quant::QuantModel::quantize(model, calibration);
+  const Tensor batch = stack_batch(inputs);
+  const validate::TestSuite suite =
+      validate::TestSuite::from_labels(inputs, qmodel.predict_labels(batch));
+  const auto victims = random_pool(5, 98);
+
+  // Sign-bit faults across the first weights: the faulty device must stay
+  // pluggable into the one detection loop and produce sound rates.
+  std::vector<validate::CodeFault> faults;
+  for (std::size_t address = 0; address < 12; ++address) {
+    faults.push_back({address, 7});
+  }
+  validate::FaultInjectedInt8Backend backend(qmodel, faults);
+  EXPECT_EQ(backend.name(), "faulty-int8");
+
+  attack::RandomPerturbation::Options attack_options;
+  attack_options.num_params = 4;
+  attack_options.relative_sigma = 6.0f;
+  attack::RandomPerturbation attack(attack_options);
+  validate::DetectionConfig config;
+  config.trials = 30;
+  config.test_counts = {5, 10};
+  const auto outcome =
+      validate::run_detection(model, suite, backend, attack, victims, config);
+  EXPECT_EQ(outcome.successful_trials + outcome.dropped_trials, 30);
+  for (const double rate : outcome.rate_per_count) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  EXPECT_LE(outcome.rate_per_count[0], outcome.rate_per_count[1] + 1e-12);
+}
+
+// ---------- Backend parity on a zoo model ----------
+
+TEST(BackendParityTest, Int8MatchesLegacyQuantizedDetectionOnZooModel) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+  auto qmodel = quant::QuantModel::quantize(trained.model, pool.images);
+
+  std::vector<Tensor> inputs(pool.images.begin(), pool.images.begin() + 12);
+  const Tensor batch = stack_batch(inputs);
+  const validate::TestSuite suite =
+      validate::TestSuite::from_labels(inputs, qmodel.predict_labels(batch));
+
+  attack::SingleBiasAttack attack;
+  validate::DetectionConfig config;
+  config.trials = 24;
+  config.test_counts = {6, 12};
+  config.seed = 7;
+  const auto legacy = validate::run_detection_quantized(
+      trained.model, qmodel, suite, attack, pool.images, config);
+  validate::Int8Backend backend(qmodel);
+  const auto via_backend = validate::run_detection(
+      trained.model, suite, backend, attack, pool.images, config);
+  EXPECT_EQ(legacy.rate_per_count, via_backend.rate_per_count);
+  EXPECT_EQ(legacy.successful_trials, via_backend.successful_trials);
+  EXPECT_EQ(legacy.mean_first_detection, via_backend.mean_first_detection);
+}
+
+TEST(BackendParityTest, FloatAndInt8QualificationAgreeOnZooModel) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+  auto qmodel = quant::QuantModel::quantize(trained.model, pool.images);
+
+  std::vector<Tensor> inputs(pool.images.begin(), pool.images.begin() + 20);
+  const Tensor batch = stack_batch(inputs);
+  validate::FloatReferenceBackend float_backend(trained.model);
+  validate::Int8Backend int8_backend(qmodel);
+  const auto float_labels = float_backend.predict_clean(batch);
+  const auto int8_labels = int8_backend.predict_clean(batch);
+  ASSERT_EQ(float_labels.size(), int8_labels.size());
+  int agree = 0;
+  for (std::size_t i = 0; i < float_labels.size(); ++i) {
+    agree += float_labels[i] == int8_labels[i];
+  }
+  // Post-training int8 on a trained model: near-total agreement expected.
+  EXPECT_GE(agree, static_cast<int>(float_labels.size()) - 2)
+      << "int8 engine disagrees with float on too many inputs";
+}
+
+// ---------- Deliverable / pipeline ----------
+
+TEST(PipelineTest, DeliverableRoundTripsAndReproducesVerdict) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+
+  pipeline::VendorOptions options;
+  options.method = "combined";
+  options.backend = "int8";
+  options.num_tests = 10;
+  options.generator.coverage = trained.coverage;
+  options.generator.gradient.steps = 15;
+  options.model_name = trained.name;
+
+  pipeline::VendorReport report;
+  pipeline::Deliverable shipped =
+      pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
+                                            trained.num_classes, pool.images,
+                                            &report);
+  EXPECT_EQ(shipped.manifest.method, "combined");
+  EXPECT_EQ(shipped.manifest.backend, "int8");
+  EXPECT_EQ(shipped.manifest.num_tests, 10);
+  EXPECT_TRUE(shipped.has_quant);
+  EXPECT_EQ(shipped.suite.size(), 10u);
+  EXPECT_GT(report.coverage, 0.0);
+  EXPECT_GE(report.backend_float_agreement, 0);
+
+  // The vendor's own bundle must validate SECURE before shipping.
+  EXPECT_TRUE(
+      pipeline::UserValidator(std::move(shipped)).validate().passed);
+}
+
+TEST(PipelineTest, SaveLoadValidateAndCorruptionRejection) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+
+  pipeline::VendorOptions options;
+  options.method = "greedy";
+  options.backend = "float";
+  options.num_tests = 8;
+  options.generator.coverage = trained.coverage;
+  options.model_name = trained.name;
+
+  const pipeline::Deliverable shipped =
+      pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
+                                            trained.num_classes, pool.images);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnnv_deliverable.bin").string();
+  constexpr std::uint64_t kKey = 0xBEEFCAFE;
+  shipped.save_file(path, kKey);
+
+  // Round trip: the user loads the one file and reproduces the verdict.
+  const auto validator = pipeline::UserValidator::load_file(path, kKey);
+  EXPECT_EQ(validator.deliverable().manifest.method, "greedy");
+  EXPECT_EQ(validator.deliverable().suite.size(), 8u);
+  EXPECT_EQ(validator.deliverable().suite.golden_labels(),
+            shipped.suite.golden_labels());
+  const auto verdict = validator.validate();
+  EXPECT_TRUE(verdict.passed);
+  EXPECT_EQ(verdict.tests_run, 8);
+
+  // Wrong key: plausibility checks reject the garbage plaintext.
+  EXPECT_THROW(pipeline::Deliverable::load_file(path, kKey + 1), Error);
+
+  // Corrupted payload byte: the CRC footer rejects before parsing.
+  auto bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x08;
+  write_file(path, bytes);
+  EXPECT_THROW(pipeline::Deliverable::load_file(path, kKey), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineTest, TamperedDeviceIsCaught) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+
+  pipeline::VendorOptions options;
+  options.method = "combined";
+  options.backend = "int8";
+  options.num_tests = 12;
+  options.generator.coverage = trained.coverage;
+  options.generator.gradient.steps = 15;
+
+  pipeline::UserValidator validator(
+      pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
+                                            trained.num_classes, pool.images));
+  EXPECT_TRUE(validator.validate().passed);
+
+  // Sign-bit-flip a swath of the delivered device's weight memory: the
+  // replay must flag TAMPERED.
+  auto device = validator.make_device();
+  auto* quantized = dynamic_cast<ip::QuantizedIp*>(device.get());
+  ASSERT_NE(quantized, nullptr);
+  const auto& first_tensor = quantized->tensor_table().front();
+  for (std::int64_t i = 0; i < first_tensor.size; ++i) {
+    quantized->flip_bit(first_tensor.memory_offset +
+                            static_cast<std::size_t>(i),
+                        7);
+  }
+  EXPECT_FALSE(validator.validate(*quantized).passed);
+}
+
+// ---------- Parallel predict_all default ----------
+
+/// Minimal stateful IP exercising the BASE predict_all (no override): label
+/// depends only on the input, clones share nothing.
+class ToyIp : public ip::BlackBoxIp {
+ public:
+  explicit ToyIp(int classes) : classes_(classes) {}
+
+  int predict(const Tensor& input) override {
+    ++calls_;
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      sum += static_cast<double>(input[i]) * static_cast<double>(i + 1);
+    }
+    const auto bucket = static_cast<long long>(std::llround(sum * 64.0));
+    return static_cast<int>(((bucket % classes_) + classes_) % classes_);
+  }
+  std::unique_ptr<ip::BlackBoxIp> clone_ip() override {
+    return std::make_unique<ToyIp>(classes_);
+  }
+  Shape input_shape() const override { return Shape{6}; }
+  int num_classes() const override { return classes_; }
+  int calls() const { return calls_; }
+
+ private:
+  int classes_;
+  int calls_ = 0;
+};
+
+/// Same, but not cloneable: must fall back to the serial loop.
+class SerialToyIp final : public ToyIp {
+ public:
+  using ToyIp::ToyIp;
+  std::unique_ptr<ip::BlackBoxIp> clone_ip() override { return nullptr; }
+};
+
+TEST(PredictAllTest, ParallelDefaultMatchesSerialLoop) {
+  const auto inputs = random_pool(64, 123);
+  ToyIp parallel_ip(7);
+  const auto parallel_labels = parallel_ip.predict_all(inputs);
+
+  ToyIp serial_ip(7);
+  std::vector<int> serial_labels;
+  for (const auto& input : inputs) serial_labels.push_back(serial_ip.predict(input));
+
+  EXPECT_EQ(parallel_labels, serial_labels);
+  EXPECT_EQ(serial_ip.calls(), 64);
+  if (ThreadPool::shared().num_threads() >= 2) {
+    // The parallel path predicts through clones, not this instance.
+    EXPECT_EQ(parallel_ip.calls(), 0);
+  } else {
+    // Single-core machine: chunking is pointless, the loop stays serial.
+    EXPECT_EQ(parallel_ip.calls(), 64);
+  }
+}
+
+TEST(PredictAllTest, NonCloneableIpFallsBackToSerial) {
+  const auto inputs = random_pool(40, 124);
+  SerialToyIp ip(5);
+  ToyIp reference(5);
+  std::vector<int> expected;
+  for (const auto& input : inputs) expected.push_back(reference.predict(input));
+  EXPECT_EQ(ip.predict_all(inputs), expected);
+  EXPECT_EQ(ip.calls(), 40);
+}
+
+TEST(PredictAllTest, ReferenceIpCloneReplaysIdentically) {
+  Sequential model = small_relu_net(131);
+  ip::ReferenceIp ip(model, Shape{6});
+  auto clone = ip.clone_ip();
+  ASSERT_NE(clone, nullptr);
+  const auto inputs = random_pool(10, 132);
+  EXPECT_EQ(ip.predict_all(inputs), clone->predict_all(inputs));
+}
+
+}  // namespace
+}  // namespace dnnv
