@@ -2,6 +2,7 @@
 #ifndef DNNV_BENCH_BENCH_COMMON_H_
 #define DNNV_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -29,6 +30,17 @@ inline exp::ZooOptions zoo_options(const CliArgs& args) {
   options.paper_scale = args.get_bool("paper-scale", false);
   options.retrain = args.get_bool("retrain", false);
   return options;
+}
+
+/// Nearest-rank percentile (p in [0, 1]) of a latency sample, used by the
+/// service bench and dnnv_pipeline --serve so both report identically.
+/// An empty sample reports 0.
+inline double latency_percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
 }
 
 /// Prints the standard bench banner.

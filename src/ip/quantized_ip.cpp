@@ -157,6 +157,7 @@ void QuantizedIp::write_byte(std::size_t address, std::uint8_t value) {
   memory_[address] = value;
   quant_dirty_ = true;
   float_dirty_ = true;
+  invalidate_replicas();
 }
 
 void QuantizedIp::flip_bit(std::size_t address, int bit) {
@@ -165,6 +166,7 @@ void QuantizedIp::flip_bit(std::size_t address, int bit) {
   memory_[address] ^= static_cast<std::uint8_t>(1u << bit);
   quant_dirty_ = true;
   float_dirty_ = true;
+  invalidate_replicas();
 }
 
 float QuantizedIp::max_quantization_error() const {

@@ -72,7 +72,10 @@ class QuantizedIp : public BlackBoxIp {
   int num_classes() const override { return num_classes_; }
 
   QuantBackend backend() const { return backend_; }
-  void set_backend(QuantBackend backend) { backend_ = backend; }
+  void set_backend(QuantBackend backend) {
+    backend_ = backend;
+    invalidate_replicas();
+  }
 
   // ---- Memory / fault-injection surface ----
 

@@ -1,5 +1,11 @@
 // User-side façade: load a Deliverable, reconstruct the deployed device,
 // replay the suite (paper Fig 1, right half, as one call).
+//
+// Since the ValidationService redesign this is a thin wrapper — one shared
+// service, one session, blocking get — kept because "validate this one
+// deliverable once" is still the common entry point. Concurrent callers,
+// streaming verdicts and cross-session batching live in
+// pipeline::ValidationService (service.h).
 #ifndef DNNV_PIPELINE_USER_H_
 #define DNNV_PIPELINE_USER_H_
 
@@ -29,9 +35,11 @@ class UserValidator {
   /// instance — tamper with it freely.
   std::unique_ptr<ip::BlackBoxIp> make_device() const;
 
-  /// Replays the bundled suite against a freshly reconstructed device.
-  /// An intact bundle must come back SECURE (passed == true) — the
-  /// qualification verdict the vendor shipped.
+  /// Replays the bundled suite against a freshly reconstructed device
+  /// through the shared ValidationService (one session, blocking get); the
+  /// verdict is bit-identical to the historical one-shot replay. An intact
+  /// bundle must come back SECURE (passed == true) — the qualification
+  /// verdict the vendor shipped.
   validate::Verdict validate(bool early_exit = false) const;
 
   /// Replays the bundled suite against an external (possibly tampered)
@@ -39,10 +47,11 @@ class UserValidator {
   validate::Verdict validate(ip::BlackBoxIp& device,
                              bool early_exit = false) const;
 
-  const Deliverable& deliverable() const { return deliverable_; }
+  const Deliverable& deliverable() const { return *deliverable_; }
 
  private:
-  Deliverable deliverable_;
+  /// Shared with the service's ephemeral sessions during validate() calls.
+  std::shared_ptr<const Deliverable> deliverable_;
 };
 
 }  // namespace dnnv::pipeline

@@ -30,16 +30,43 @@ std::vector<std::uint8_t> read_protected_file(const std::string& path,
                                               std::uint32_t magic,
                                               std::uint32_t version,
                                               const char* what) {
+  // Each failure mode gets its own diagnostic — "bad magic", "unsupported
+  // version", "short read", "bad CRC" — so a user qualifying a shipment can
+  // tell a wrong file from a truncated download from in-transit corruption.
   ByteReader file(read_file(path));
-  DNNV_CHECK(file.read_u32() == magic, "not a dnnv " << what);
-  DNNV_CHECK(file.read_u32() == version, "unsupported " << what << " version");
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
+  if (file.remaining() < kHeaderBytes) {
+    DNNV_THROW("short read: " << what << " file '" << path << "' holds "
+                              << file.remaining()
+                              << " bytes, smaller than the " << kHeaderBytes
+                              << "-byte header");
+  }
+  const std::uint32_t found_magic = file.read_u32();
+  if (found_magic != magic) {
+    DNNV_THROW("bad magic: '" << path << "' is not a dnnv " << what
+                              << " (found 0x" << std::hex << found_magic
+                              << ", expected 0x" << magic << ")");
+  }
+  const std::uint32_t found_version = file.read_u32();
+  if (found_version != version) {
+    DNNV_THROW("unsupported " << what << " version " << found_version
+                              << " (this build reads version " << version
+                              << ")");
+  }
   const std::uint32_t expected_crc = file.read_u32();
   const std::uint64_t cipher_size = file.read_u64();
-  DNNV_CHECK(cipher_size == file.remaining(), "truncated " << what);
+  if (cipher_size != file.remaining()) {
+    DNNV_THROW("short read: " << what << " payload declares " << cipher_size
+                              << " bytes but " << file.remaining()
+                              << " remain (truncated or overlong file)");
+  }
   std::vector<std::uint8_t> cipher =
       file.read_bytes(static_cast<std::size_t>(cipher_size));
-  DNNV_CHECK(crc32(cipher) == expected_crc,
-             what << " integrity check failed (corrupted in transit?)");
+  if (crc32(cipher) != expected_crc) {
+    DNNV_THROW("bad CRC: " << what
+                           << " payload failed its integrity check "
+                              "(corrupted in transit?)");
+  }
   keystream_xor(cipher, key);
   return cipher;
 }

@@ -24,8 +24,10 @@ void write_protected_file(const std::string& path,
                           const char* what);
 
 /// Verifies magic, version, truncation and CRC, then de-obfuscates and
-/// returns the plaintext payload. Throws dnnv::Error naming `what` on any
-/// mismatch.
+/// returns the plaintext payload. Throws dnnv::Error naming `what` with a
+/// distinct diagnostic per failure mode: "bad magic" (not our container),
+/// "unsupported ... version", "short read" (truncated header or payload)
+/// and "bad CRC" (in-transit corruption).
 std::vector<std::uint8_t> read_protected_file(const std::string& path,
                                               std::uint64_t key,
                                               std::uint32_t magic,

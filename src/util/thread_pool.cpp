@@ -66,20 +66,60 @@ void ThreadPool::parallel_for(std::size_t count,
   // workloads with hundreds of thousands of cheap indices).
   const std::size_t num_chunks = std::min(count, workers_.size() * 4);
   const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
+  // Chunks go through a TaskGroup so concurrent pool users (e.g. validation
+  // service batches) neither delay this wait nor leak exceptions into it.
+  TaskGroup group(*this);
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
-    submit([begin, end, &body] {
+    group.run([begin, end, &body] {
       for (std::size_t i = begin; i < end; ++i) body(i);
     });
   }
-  wait_all();
+  group.wait();
 }
 
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) idle_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
 }
 
 void ThreadPool::worker_loop() {

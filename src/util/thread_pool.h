@@ -36,6 +36,11 @@ class ThreadPool {
   /// Blocks until every submitted task has finished; rethrows the first
   /// captured task exception (if any). After the rethrow the pool is fully
   /// reusable: the error slot is cleared and the workers keep running.
+  ///
+  /// Note: waits for ALL tasks in flight, including other callers'. Code
+  /// that shares the pool with concurrent producers (the validation
+  /// service, predict_all) should track its own tasks with a TaskGroup
+  /// instead.
   void wait_all();
 
   /// Runs body(i) for i in [0, count) across the pool and waits.
@@ -68,6 +73,43 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Tracks a private set of tasks on a shared ThreadPool. Unlike
+/// ThreadPool::wait_all(), TaskGroup::wait() blocks only for the tasks
+/// submitted through THIS group and rethrows only their errors, so several
+/// producers (validation-service micro-batches, a predict_all replay, a
+/// bench driver) can share one pool without waiting on — or stealing
+/// exceptions from — each other's work queues.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Waits for any still-pending tasks; a pending error is dropped (call
+  /// wait() yourself to observe it).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `task` to the pool, tracked by this group. Task exceptions are
+  /// captured per group and rethrown from wait().
+  void run(std::function<void()> task);
+
+  /// Blocks until every task submitted through run() has finished, then
+  /// rethrows the group's first captured exception (if any). The group is
+  /// reusable afterwards.
+  void wait();
+
+  /// Tasks submitted but not yet finished.
+  std::size_t pending() const;
+
+ private:
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;
   std::exception_ptr first_error_;
 };
 

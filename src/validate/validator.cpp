@@ -21,16 +21,51 @@ Verdict validate_ip(ip::BlackBoxIp& ip, const TestSuite& suite,
     verdict.passed = true;
     return verdict;
   }
-  const auto labels = ip.predict_all(suite.inputs());
-  verdict.tests_run = static_cast<int>(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    if (labels[i] != suite.golden_labels()[i]) {
-      if (verdict.first_failure < 0) verdict.first_failure = static_cast<int>(i);
-      ++verdict.num_failures;
+  accumulate_chunk(verdict, replay_chunk(ip, suite, 0, suite.size()));
+  return verdict;
+}
+
+ChunkVerdict replay_chunk(ip::BlackBoxIp& ip, const TestSuite& suite,
+                          std::size_t begin, std::size_t end) {
+  DNNV_CHECK(begin < end && end <= suite.size(),
+             "chunk [" << begin << ", " << end << ") out of suite range "
+                       << suite.size());
+  if (begin == 0 && end == suite.size()) {
+    return compare_chunk(suite, 0, ip.predict_all(suite.inputs()));
+  }
+  std::vector<Tensor> inputs(suite.inputs().begin() +
+                                 static_cast<std::ptrdiff_t>(begin),
+                             suite.inputs().begin() +
+                                 static_cast<std::ptrdiff_t>(end));
+  return compare_chunk(suite, begin, ip.predict_all(inputs));
+}
+
+ChunkVerdict compare_chunk(const TestSuite& suite, std::size_t begin,
+                           const std::vector<int>& labels) {
+  DNNV_CHECK(begin + labels.size() <= suite.size(),
+             "labels for [" << begin << ", " << begin + labels.size()
+                            << ") overrun suite of " << suite.size());
+  ChunkVerdict chunk;
+  chunk.begin = begin;
+  chunk.end = begin + labels.size();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != suite.golden_labels()[begin + i]) {
+      if (chunk.first_failure < 0) {
+        chunk.first_failure = static_cast<int>(begin + i);
+      }
+      ++chunk.mismatches;
     }
   }
+  return chunk;
+}
+
+void accumulate_chunk(Verdict& verdict, const ChunkVerdict& chunk) {
+  verdict.tests_run += static_cast<int>(chunk.end - chunk.begin);
+  if (chunk.mismatches > 0 && verdict.first_failure < 0) {
+    verdict.first_failure = chunk.first_failure;
+  }
+  verdict.num_failures += chunk.mismatches;
   verdict.passed = verdict.num_failures == 0;
-  return verdict;
 }
 
 }  // namespace dnnv::validate

@@ -1,6 +1,15 @@
 // User-side validation: replay the suite against a black-box IP.
+//
+// Two granularities: validate_ip() replays a whole suite in one call (the
+// historical API, bit-frozen), and the chunked entry points below replay a
+// contiguous range at a time so incremental drivers — the streaming
+// validation service, an early-exit loop, a progress bar — can fold chunk
+// verdicts into a whole-suite Verdict as they arrive.
 #ifndef DNNV_VALIDATE_VALIDATOR_H_
 #define DNNV_VALIDATE_VALIDATOR_H_
+
+#include <cstddef>
+#include <vector>
 
 #include "ip/black_box_ip.h"
 #include "validate/test_suite.h"
@@ -15,11 +24,35 @@ struct Verdict {
   int tests_run = 0;
 };
 
+/// Outcome of replaying one contiguous range of a suite. Indices are global
+/// suite indices, so chunks from different ranges compose.
+struct ChunkVerdict {
+  std::size_t begin = 0;   ///< first test index of the chunk
+  std::size_t end = 0;     ///< one past the last test index
+  int mismatches = 0;      ///< failing tests within [begin, end)
+  int first_failure = -1;  ///< global index of the chunk's first mismatch
+};
+
 /// Runs every test through the IP and compares labels against the golden
 /// outputs. With `early_exit` the replay stops at the first mismatch
 /// (cheapest tamper detection); otherwise all failures are counted.
 Verdict validate_ip(ip::BlackBoxIp& ip, const TestSuite& suite,
                     bool early_exit = false);
+
+/// Replays suite tests [begin, end) through `ip` with one batched
+/// predict_all call and compares against the golden labels.
+ChunkVerdict replay_chunk(ip::BlackBoxIp& ip, const TestSuite& suite,
+                          std::size_t begin, std::size_t end);
+
+/// Scores already-predicted labels for suite tests [begin, begin +
+/// labels.size()) — the path for drivers that batch inference themselves.
+ChunkVerdict compare_chunk(const TestSuite& suite, std::size_t begin,
+                           const std::vector<int>& labels);
+
+/// Folds `chunk` into a running whole-suite verdict. Chunks must be fed in
+/// ascending index order; `verdict.passed` stays true until a mismatch
+/// arrives.
+void accumulate_chunk(Verdict& verdict, const ChunkVerdict& chunk);
 
 }  // namespace dnnv::validate
 

@@ -1,0 +1,534 @@
+// ValidationService tests: the UserValidator wrapper must stay bit-identical
+// to the historical one-shot replay on both zoo models and backends, 16
+// concurrent sessions must produce deterministic verdicts across runs and
+// thread counts, the early-exit stream must agree with the full replay,
+// the deliverable registry must LRU-evict and reload, the DevicePool must
+// kill per-call clone churn, and protected-file corruption must surface
+// distinct diagnostics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exp/model_zoo.h"
+#include "ip/device_pool.h"
+#include "ip/quantized_ip.h"
+#include "pipeline/service.h"
+#include "pipeline/user.h"
+#include "pipeline/vendor.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
+#include "validate/validator.h"
+
+namespace dnnv {
+namespace {
+
+exp::ZooOptions tiny_options() {
+  exp::ZooOptions options;
+  options.tiny = true;
+  options.cache_dir =
+      (std::filesystem::temp_directory_path() / "dnnv_test_zoo").string();
+  return options;
+}
+
+/// Small deliverable off a zoo model, qualified on `backend`.
+pipeline::Deliverable make_bundle(const exp::TrainedModel& trained,
+                                  const std::vector<Tensor>& pool,
+                                  const std::string& backend, int num_tests) {
+  pipeline::VendorOptions options;
+  options.method = "greedy";
+  options.backend = backend;
+  options.num_tests = num_tests;
+  options.generator.coverage = trained.coverage;
+  options.model_name = trained.name;
+  return pipeline::VendorPipeline(options).run(
+      trained.model, trained.item_shape, trained.num_classes, pool);
+}
+
+/// Sign-bit faults across the first weight tensor — enough corruption that
+/// an int8 replay must come back TAMPERED (same recipe pipeline_test uses).
+std::vector<validate::CodeFault> first_tensor_sign_faults(
+    const pipeline::Deliverable& bundle) {
+  const auto device = pipeline::make_device(bundle, pipeline::BackendKind::kInt8);
+  auto* quantized = dynamic_cast<ip::QuantizedIp*>(device.get());
+  EXPECT_NE(quantized, nullptr);
+  const auto& first = quantized->tensor_table().front();
+  std::vector<validate::CodeFault> faults;
+  for (std::int64_t i = 0; i < first.size; ++i) {
+    faults.push_back({first.memory_offset + static_cast<std::size_t>(i), 7});
+  }
+  return faults;
+}
+
+void expect_same_verdict(const validate::Verdict& a,
+                         const validate::Verdict& b) {
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.first_failure, b.first_failure);
+  EXPECT_EQ(a.num_failures, b.num_failures);
+  EXPECT_EQ(a.tests_run, b.tests_run);
+}
+
+// ---------- Wrapper bit-identity vs the historical one-shot replay ----------
+
+void check_wrapper_bit_identity(const exp::TrainedModel& trained,
+                                const std::vector<Tensor>& pool,
+                                const std::string& backend) {
+  pipeline::UserValidator validator(make_bundle(trained, pool, backend, 12));
+  const auto& suite = validator.deliverable().suite;
+
+  // Clean device: the wrapped service path must reproduce the historical
+  // validate_ip() verdict bit for bit (verdict + mismatch counts).
+  for (const bool early_exit : {false, true}) {
+    const auto device = validator.make_device();
+    const auto expected = validate::validate_ip(*device, suite, early_exit);
+    expect_same_verdict(expected, validator.validate(early_exit));
+  }
+
+  // Tampered external device: both paths replay the same corrupted part.
+  const auto tampered = validator.make_device();
+  if (auto* quantized = dynamic_cast<ip::QuantizedIp*>(tampered.get())) {
+    const auto& first = quantized->tensor_table().front();
+    for (std::int64_t i = 0; i < first.size; ++i) {
+      quantized->flip_bit(first.memory_offset + static_cast<std::size_t>(i),
+                          7);
+    }
+    for (const bool early_exit : {false, true}) {
+      const auto expected = validate::validate_ip(*tampered, suite, early_exit);
+      expect_same_verdict(expected, validator.validate(*tampered, early_exit));
+    }
+  }
+}
+
+TEST(ServiceWrapperTest, BitIdentityMnistFloat) {
+  const auto trained = exp::mnist_tanh(tiny_options());
+  check_wrapper_bit_identity(trained, exp::digits_train(60).images, "float");
+}
+
+TEST(ServiceWrapperTest, BitIdentityMnistInt8) {
+  const auto trained = exp::mnist_tanh(tiny_options());
+  check_wrapper_bit_identity(trained, exp::digits_train(60).images, "int8");
+}
+
+TEST(ServiceWrapperTest, BitIdentityCifarFloat) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  check_wrapper_bit_identity(trained, exp::shapes_train(60).images, "float");
+}
+
+TEST(ServiceWrapperTest, BitIdentityCifarInt8) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  check_wrapper_bit_identity(trained, exp::shapes_train(60).images, "int8");
+}
+
+// ---------- Concurrent sessions: deterministic across threads/runs ----------
+
+struct StressOutcome {
+  std::vector<validate::Verdict> verdicts;
+};
+
+/// 16 sessions (two deliverables, clean + faulted, full replay + early
+/// exit) driven from 16 threads against one service.
+StressOutcome run_stress(pipeline::ValidationService& service,
+                         const pipeline::DeliverableHandle& mnist,
+                         const pipeline::DeliverableHandle& cifar,
+                         const std::vector<validate::CodeFault>& mnist_faults,
+                         const std::vector<validate::CodeFault>& cifar_faults) {
+  constexpr int kSessions = 16;
+  StressOutcome outcome;
+  outcome.verdicts.resize(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      const auto& handle = (i % 2 == 0) ? mnist : cifar;
+      pipeline::SessionConfig config;
+      config.chunk_size = 4;  // fixed: decouple verdicts from service knobs
+      if (i % 4 == 2) {
+        config.faults = (i % 2 == 0) ? mnist_faults : cifar_faults;
+      }
+      if (i % 4 == 3) {
+        config.faults = (i % 2 == 0) ? mnist_faults : cifar_faults;
+        config.policy = pipeline::StreamPolicy::kEarlyExit;
+      }
+      auto session = service.open_session(handle, config);
+      outcome.verdicts[static_cast<std::size_t>(i)] = session->submit().get();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return outcome;
+}
+
+TEST(ServiceStressTest, SixteenSessionsDeterministicAcrossThreadCounts) {
+  const auto mnist_model = exp::mnist_tanh(tiny_options());
+  const auto cifar_model = exp::cifar_relu(tiny_options());
+  auto mnist_bundle =
+      make_bundle(mnist_model, exp::digits_train(60).images, "int8", 12);
+  auto cifar_bundle =
+      make_bundle(cifar_model, exp::shapes_train(60).images, "int8", 12);
+  const auto mnist_faults = first_tensor_sign_faults(mnist_bundle);
+  const auto cifar_faults = first_tensor_sign_faults(cifar_bundle);
+
+  std::vector<StressOutcome> outcomes;
+  struct Knobs {
+    std::size_t pool_threads;
+    std::size_t micro_batch;
+    std::size_t inflight;
+  };
+  for (const Knobs& knobs : std::vector<Knobs>{{1, 16, 1}, {4, 5, 3}}) {
+    ThreadPool pool(knobs.pool_threads);
+    pipeline::ValidationService::Config config;
+    config.micro_batch = knobs.micro_batch;
+    config.max_inflight_batches = knobs.inflight;
+    config.pool = &pool;
+    pipeline::ValidationService service(config);
+    const auto mnist = service.adopt(
+        pipeline::Deliverable{mnist_bundle.model.clone(), mnist_bundle.has_quant,
+                              mnist_bundle.qmodel, mnist_bundle.suite,
+                              mnist_bundle.manifest},
+        "mnist");
+    const auto cifar = service.adopt(
+        pipeline::Deliverable{cifar_bundle.model.clone(), cifar_bundle.has_quant,
+                              cifar_bundle.qmodel, cifar_bundle.suite,
+                              cifar_bundle.manifest},
+        "cifar");
+    // Two repeats per configuration: verdicts must not depend on timing.
+    outcomes.push_back(
+        run_stress(service, mnist, cifar, mnist_faults, cifar_faults));
+    outcomes.push_back(
+        run_stress(service, mnist, cifar, mnist_faults, cifar_faults));
+  }
+
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    for (std::size_t s = 0; s < outcomes[0].verdicts.size(); ++s) {
+      expect_same_verdict(outcomes[0].verdicts[s], outcomes[i].verdicts[s]);
+    }
+  }
+  // Clean sessions pass, faulted ones fail.
+  for (std::size_t s = 0; s < outcomes[0].verdicts.size(); ++s) {
+    EXPECT_EQ(outcomes[0].verdicts[s].passed, s % 4 < 2) << "session " << s;
+  }
+}
+
+// ---------- Streaming: early exit agrees with the full replay ----------
+
+TEST(ServiceStreamTest, EarlyExitAgreesWithFullReplay) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  auto bundle = make_bundle(trained, exp::shapes_train(60).images, "int8", 12);
+  const auto faults = first_tensor_sign_faults(bundle);
+
+  pipeline::ValidationService service;
+  const auto handle = service.adopt(std::move(bundle), "cifar");
+
+  pipeline::SessionConfig full_config;
+  full_config.faults = faults;
+  full_config.chunk_size = 3;
+  auto full_session = service.open_session(handle, full_config);
+  const auto full = full_session->submit().get();
+  ASSERT_FALSE(full.passed);
+
+  pipeline::SessionConfig early_config = full_config;
+  early_config.policy = pipeline::StreamPolicy::kEarlyExit;
+  auto early_session = service.open_session(handle, early_config);
+  auto stream = early_session->stream();
+
+  // Chunks arrive in ascending order with fixed boundaries and stop at the
+  // first TAMPERED evidence.
+  pipeline::VerdictStream::Chunk chunk;
+  std::size_t expected_begin = 0;
+  int chunks_seen = 0;
+  bool saw_last = false;
+  while (stream.next(chunk)) {
+    EXPECT_EQ(chunk.begin, expected_begin);
+    EXPECT_LE(chunk.end - chunk.begin, 3u);
+    expected_begin = chunk.end;
+    ++chunks_seen;
+    if (chunk.last) {
+      saw_last = true;
+      EXPECT_GT(chunk.mismatches, 0);
+    } else {
+      EXPECT_EQ(chunk.mismatches, 0);
+    }
+  }
+  EXPECT_TRUE(saw_last);
+  EXPECT_GE(chunks_seen, 1);
+
+  const auto early = stream.verdict();
+  EXPECT_FALSE(early.passed);
+  EXPECT_EQ(early.first_failure, full.first_failure);
+  EXPECT_EQ(early.num_failures, 1);
+  EXPECT_EQ(early.tests_run, early.first_failure + 1);
+}
+
+TEST(ServiceStreamTest, FullReplayStreamChunksSumToVerdict) {
+  const auto trained = exp::mnist_tanh(tiny_options());
+  auto bundle = make_bundle(trained, exp::digits_train(60).images, "int8", 10);
+  const auto faults = first_tensor_sign_faults(bundle);
+
+  pipeline::ValidationService service;
+  const auto handle = service.adopt(std::move(bundle), "mnist");
+  pipeline::SessionConfig config;
+  config.faults = faults;
+  config.chunk_size = 4;
+  auto session = service.open_session(handle, config);
+  auto stream = session->stream();
+
+  pipeline::VerdictStream::Chunk chunk;
+  int total_mismatches = 0;
+  std::size_t covered = 0;
+  int first_failure = -1;
+  while (stream.next(chunk)) {
+    total_mismatches += chunk.mismatches;
+    covered += chunk.end - chunk.begin;
+    if (first_failure < 0) first_failure = chunk.first_failure;
+  }
+  const auto verdict = stream.verdict();
+  EXPECT_EQ(covered, session->suite_size());
+  EXPECT_EQ(total_mismatches, verdict.num_failures);
+  EXPECT_EQ(first_failure, verdict.first_failure);
+  EXPECT_EQ(verdict.tests_run, static_cast<int>(session->suite_size()));
+}
+
+// ---------- Budget + range submits ----------
+
+TEST(ServiceSessionTest, BudgetReplaysThePrefixOnly) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  pipeline::UserValidator probe(
+      make_bundle(trained, exp::shapes_train(60).images, "int8", 12));
+  const auto& suite = probe.deliverable().suite;
+
+  pipeline::ValidationService service;
+  auto bundle = make_bundle(trained, exp::shapes_train(60).images, "int8", 12);
+  const auto handle = service.adopt(std::move(bundle), "cifar");
+  pipeline::SessionConfig config;
+  config.budget = 5;
+  auto session = service.open_session(handle, config);
+  const auto verdict = session->submit().get();
+  EXPECT_EQ(verdict.tests_run, 5);
+
+  const auto device = probe.make_device();
+  const auto expected =
+      validate::validate_ip(*device, suite.prefix(5), false);
+  expect_same_verdict(expected, verdict);
+}
+
+TEST(ServiceSessionTest, RangeSubmitValidatesBounds) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  pipeline::ValidationService service;
+  auto bundle = make_bundle(trained, exp::shapes_train(60).images, "int8", 8);
+  const auto handle = service.adopt(std::move(bundle), "cifar");
+  auto session = service.open_session(handle);
+  EXPECT_THROW(session->submit(3, 3), Error);
+  EXPECT_THROW(session->submit(0, 9), Error);
+  const auto verdict = session->submit(2, 6).get();
+  EXPECT_EQ(verdict.tests_run, 4);
+  EXPECT_TRUE(verdict.passed);
+}
+
+// ---------- Cross-session sharing + registry LRU ----------
+
+TEST(ServiceRegistryTest, CrossSessionBatchingPredictsEachTestOnce) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  pipeline::ValidationService service;
+  auto bundle = make_bundle(trained, exp::shapes_train(60).images, "int8", 12);
+  const auto handle = service.adopt(std::move(bundle), "cifar");
+  const std::size_t suite_size = handle.deliverable().suite.size();
+
+  // Sequential sessions: the first fills the lane's label cache, the other
+  // seven replay entirely from it (TP-ATPG-style shared pattern reuse).
+  for (int s = 0; s < 8; ++s) {
+    auto session = service.open_session(handle);
+    EXPECT_TRUE(session->submit().get().passed);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.predicted, suite_size);
+  EXPECT_EQ(stats.cache_served, 7 * suite_size);
+}
+
+TEST(ServiceRegistryTest, LruEvictionAndReloadRoundTrip) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  const auto temp = std::filesystem::temp_directory_path();
+  const std::string path_a = (temp / "dnnv_service_a.bin").string();
+  const std::string path_b = (temp / "dnnv_service_b.bin").string();
+  constexpr std::uint64_t kKey = 0xFEEDFACE;
+  make_bundle(trained, exp::shapes_train(60).images, "int8", 8)
+      .save_file(path_a, kKey);
+  make_bundle(trained, exp::shapes_train(60).images, "float", 6)
+      .save_file(path_b, kKey);
+
+  pipeline::ValidationService::Config config;
+  config.max_cached_deliverables = 1;
+  pipeline::ValidationService service(config);
+
+  {
+    const auto first = service.load_file(path_a, kKey);
+    EXPECT_EQ(first.id(), path_a);
+    EXPECT_EQ(first.deliverable().suite.size(), 8u);
+    // Second load of the same path is a cache hit on the same entry.
+    const auto again = service.load_file(path_a, kKey);
+    EXPECT_EQ(again.id(), path_a);
+    EXPECT_EQ(service.stats().hits, 1u);
+    EXPECT_EQ(service.resident_deliverables(), 1u);
+    // A session comes and goes: its persistent lane (label cache) must NOT
+    // pin the entry against later eviction.
+    auto session = service.open_session(first);
+    EXPECT_TRUE(session->submit().get().passed);
+  }
+  // Handles and sessions dropped: loading B must evict the LRU entry A.
+  const auto other = service.load_file(path_b, kKey);
+  EXPECT_EQ(service.stats().evictions, 1u);
+  EXPECT_EQ(service.resident_deliverables(), 1u);
+
+  // Reload after eviction: a fresh parse that still validates SECURE.
+  const auto reloaded = service.load_file(path_a, kKey);
+  EXPECT_EQ(service.stats().hits, 1u);  // unchanged: this was a miss
+  auto session = service.open_session(reloaded);
+  EXPECT_TRUE(session->submit().get().passed);
+
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+// ---------- DevicePool: no per-call clone churn ----------
+
+/// Cloneable toy IP that counts clone constructions across the clone tree.
+class CountingIp : public ip::BlackBoxIp {
+ public:
+  explicit CountingIp(std::shared_ptr<std::atomic<int>> clones)
+      : clones_(std::move(clones)) {}
+
+  int predict(const Tensor& input) override {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      sum += static_cast<double>(input[i]);
+    }
+    return static_cast<int>(std::llround(sum * 16.0)) & 3;
+  }
+  std::unique_ptr<ip::BlackBoxIp> clone_ip() override {
+    clones_->fetch_add(1);
+    return std::make_unique<CountingIp>(clones_);
+  }
+  Shape input_shape() const override { return Shape{6}; }
+  int num_classes() const override { return 4; }
+
+ private:
+  std::shared_ptr<std::atomic<int>> clones_;
+};
+
+TEST(DevicePoolTest, PredictAllReusesReplicasAcrossCalls) {
+  Rng rng(7);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 64; ++i) {
+    inputs.push_back(Tensor::rand_uniform(Shape{6}, rng, -1.0f, 1.0f));
+  }
+  auto clones = std::make_shared<std::atomic<int>>(0);
+  CountingIp ip(clones);
+  const auto first = ip.predict_all(inputs);
+  const int clones_after_first = clones->load();
+  const auto second = ip.predict_all(inputs);
+  EXPECT_EQ(first, second);
+  // The replica pool must serve the second replay without re-cloning.
+  EXPECT_EQ(clones->load(), clones_after_first);
+  if (ThreadPool::shared().num_threads() >= 2) {
+    EXPECT_GT(clones_after_first, 0);
+  }
+}
+
+TEST(DevicePoolTest, AcquireReleaseAndCapacity) {
+  auto clones = std::make_shared<std::atomic<int>>(0);
+  ip::DevicePool pool([clones] { return std::make_unique<CountingIp>(clones); },
+                      2);
+  {
+    auto first = pool.acquire();
+    auto second = pool.try_acquire();
+    ASSERT_TRUE(first);
+    ASSERT_TRUE(second);
+    EXPECT_FALSE(pool.try_acquire());  // at capacity, none idle
+    EXPECT_EQ(pool.created(), 2u);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+  // Reacquire hits the idle pool, not the factory.
+  auto lease = pool.acquire();
+  EXPECT_EQ(pool.created(), 2u);
+}
+
+TEST(DevicePoolTest, InvalidateDropsIdleAndLeasedReplicas) {
+  auto clones = std::make_shared<std::atomic<int>>(0);
+  ip::DevicePool pool([clones] { return std::make_unique<CountingIp>(clones); },
+                      4);
+  auto held = pool.acquire();
+  { auto idle_one = pool.acquire(); }
+  EXPECT_EQ(pool.idle(), 1u);
+  pool.invalidate();
+  EXPECT_EQ(pool.idle(), 0u);
+  // The still-leased device is stale too: returning it must drop it.
+  held = ip::DevicePool::Lease();
+  EXPECT_EQ(pool.idle(), 0u);
+  // Fresh acquires rebuild through the factory.
+  auto fresh = pool.acquire();
+  EXPECT_EQ(pool.created(), 3u);
+}
+
+// ---------- Protected-file corruption diagnostics ----------
+
+TEST(ServiceDeliverableTest, CorruptionDiagnosticsAreDistinct) {
+  const auto trained = exp::cifar_relu(tiny_options());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnnv_service_corrupt.bin")
+          .string();
+  constexpr std::uint64_t kKey = 0xC0FFEE;
+  make_bundle(trained, exp::shapes_train(60).images, "float", 6)
+      .save_file(path, kKey);
+  const auto pristine = read_file(path);
+
+  const auto expect_error_containing = [&](const std::string& needle) {
+    try {
+      pipeline::Deliverable::load_file(path, kKey);
+      FAIL() << "expected corruption rejection mentioning '" << needle << "'";
+    } catch (const Error& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "diagnostic was: " << error.what();
+    }
+  };
+
+  auto bytes = pristine;
+  bytes[0] ^= 0xFF;  // magic
+  write_file(path, bytes);
+  expect_error_containing("bad magic");
+
+  bytes = pristine;
+  bytes[4] ^= 0xFF;  // version
+  write_file(path, bytes);
+  expect_error_containing("version");
+
+  write_file(path, std::vector<std::uint8_t>(pristine.begin(),
+                                             pristine.begin() + 10));
+  expect_error_containing("short read");  // header cut off
+
+  bytes = pristine;
+  bytes.pop_back();  // payload shorter than its declared size
+  write_file(path, bytes);
+  expect_error_containing("short read");
+
+  bytes = pristine;
+  bytes[bytes.size() / 2] ^= 0x10;  // payload corruption
+  write_file(path, bytes);
+  expect_error_containing("bad CRC");
+
+  // The pristine file still loads and validates SECURE.
+  write_file(path, pristine);
+  EXPECT_TRUE(
+      pipeline::UserValidator::load_file(path, kKey).validate().passed);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dnnv
