@@ -1,12 +1,14 @@
 // dnnv_pipeline — minimal CLI over the vendor→user pipeline façade.
 //
 // Vendor side (default): train/load a zoo model, run
-// pipeline::VendorPipeline with a registry-named generation method and
-// qualification backend, and write the single release deliverable:
+// pipeline::VendorPipeline with a registry-named generation method,
+// coverage criterion and qualification backend, and write the single
+// release deliverable:
 //
 //   dnnv_pipeline --method combined --backend int8 --tests 50 \
+//                 --coverage parameter|neuron|ksection|boundary|topk \
 //                 --out deliverable.bin [--model mnist|cifar] [--tiny] \
-//                 [--pool 500] [--key 12345]
+//                 [--pool 500] [--key 12345] [--sections 10] [--topk 2]
 //
 // User side (--in): load a deliverable, reconstruct the deployed device and
 // replay the suite; exit 0 = SECURE, 2 = TAMPERED:
@@ -21,7 +23,8 @@
 //   dnnv_pipeline --serve --in deliverable.bin [--sessions 16]
 //                 [--backend auto|float|int8] [--stream] [--key 12345]
 //
-// --list prints the registered generation methods and exits.
+// --list prints the registered generation methods, --list-coverage the
+// registered coverage criteria; both exit.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -59,14 +62,17 @@ int run_vendor(const CliArgs& args) {
   pipeline::VendorOptions options;
   options.method = args.get_string("method", "combined");
   options.backend = args.get_string("backend", "float");
+  options.criterion = args.get_string("coverage", "parameter");
+  options.criterion_config.sections = args.get_int("sections", 10);
+  options.criterion_config.top_k = args.get_int("topk", 2);
   options.num_tests = args.get_int("tests", 50);
   options.generator.coverage = trained.coverage;
   options.generator.gradient.steps = args.get_int("steps", 40);
   options.model_name = trained.name;
 
   std::cout << "vendor: " << trained.name << ", method '" << options.method
-            << "', backend '" << options.backend << "', " << options.num_tests
-            << " tests\n";
+            << "', criterion '" << options.criterion << "', backend '"
+            << options.backend << "', " << options.num_tests << " tests\n";
   pipeline::VendorReport report;
   const auto deliverable =
       pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
@@ -89,6 +95,21 @@ int run_user(const CliArgs& args) {
   const auto validator = pipeline::UserValidator::load_file(in, key);
   std::cout << "loaded " << in << " ("
             << validator.deliverable().manifest.summary() << ")\n";
+  // Re-measure what the shipped suite exercises under the manifest's own
+  // criterion (rebuilt from the shipped name + config). Reporting must
+  // never block the security verdict: a criterion this binary does not
+  // have registered (out-of-tree vendor) just skips the measurement.
+  if (cov::criterion_registered(validator.deliverable().manifest.criterion)) {
+    const auto coverage = validator.suite_coverage();
+    std::cout << "suite covers " << coverage.map.covered_count() << "/"
+              << coverage.map.total_points() << " points ("
+              << format_percent(coverage.fraction()) << ") of "
+              << coverage.description << "\n";
+  } else {
+    std::cout << "suite coverage not re-measured: criterion '"
+              << validator.deliverable().manifest.criterion
+              << "' is not registered in this binary\n";
+  }
   const auto verdict = validator.validate();
   std::cout << "replayed " << verdict.tests_run << " tests: "
             << (verdict.passed ? "SECURE" : "TAMPERED") << "\n";
@@ -169,12 +190,20 @@ int run_serve(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
-                       {"method", "backend", "tests", "out", "in", "model",
-                        "tiny", "pool", "key", "steps", "list", "serve",
-                        "sessions", "stream"});
+                       {"method", "backend", "coverage", "sections", "topk",
+                        "tests", "out", "in", "model", "tiny", "pool", "key",
+                        "steps", "list", "list-coverage", "serve", "sessions",
+                        "stream"});
     if (args.get_bool("list", false)) {
       std::cout << "registered generation methods:\n";
       for (const auto& name : testgen::generator_names()) {
+        std::cout << "  " << name << "\n";
+      }
+      return 0;
+    }
+    if (args.get_bool("list-coverage", false)) {
+      std::cout << "registered coverage criteria:\n";
+      for (const auto& name : cov::criterion_names()) {
         std::cout << "  " << name << "\n";
       }
       return 0;

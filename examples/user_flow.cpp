@@ -38,6 +38,17 @@ int main(int argc, char** argv) {
   std::cout << "  manifest: " << validator->deliverable().manifest.summary()
             << "\n";
 
+  // Re-measure what the shipped tests exercise under the manifest's own
+  // criterion (rebuilt here from the shipped name + config — no vendor
+  // pool needed). Reporting never blocks the verdict: an unregistered
+  // (out-of-tree) criterion just skips the measurement.
+  if (cov::criterion_registered(validator->deliverable().manifest.criterion)) {
+    const auto coverage = validator->suite_coverage();
+    std::cout << "  suite covers " << coverage.map.covered_count() << "/"
+              << coverage.map.total_points() << " points of "
+              << coverage.description << "\n";
+  }
+
   // Reconstruct the deployed device (black box from here on): the int8
   // artifact with its weight memory when one was shipped, the float
   // reference otherwise.

@@ -5,22 +5,17 @@
 namespace dnnv::cov {
 
 CoverageAccumulator::CoverageAccumulator(std::size_t universe_size)
-    : covered_(universe_size) {
+    : map_(universe_size) {
   DNNV_CHECK(universe_size > 0, "empty coverage universe");
 }
 
 void CoverageAccumulator::add(const DynamicBitset& mask) {
-  covered_ |= mask;
+  map_.add(mask);
   ++num_tests_;
 }
 
 std::size_t CoverageAccumulator::marginal_gain(const DynamicBitset& mask) const {
-  return covered_.count_new_bits(mask);
-}
-
-double CoverageAccumulator::coverage() const {
-  return static_cast<double>(covered_.count()) /
-         static_cast<double>(covered_.size());
+  return map_.gain(mask);
 }
 
 }  // namespace dnnv::cov

@@ -1,4 +1,5 @@
-// Running union of activation sets — VC(X) over a growing test suite.
+// Coverage-set algebra: CoverageMap snapshots and the running accumulator
+// behind VC(X) over a growing test suite.
 #ifndef DNNV_COVERAGE_ACCUMULATOR_H_
 #define DNNV_COVERAGE_ACCUMULATOR_H_
 
@@ -6,10 +7,58 @@
 
 namespace dnnv::cov {
 
-/// Maintains P₁ ∪ ... ∪ Pₙ and the derived coverage ratio (paper Eq. 4).
+/// Bitset-backed snapshot of covered criterion points: one bit per point of
+/// whatever criterion produced it (parameters, neurons, neuron×section
+/// cells, ...). Supports union-merge across maps — the primitive behind
+/// combining per-shard or per-session coverage — and the marginal-gain query
+/// of greedy selection. Merging is associative and commutative (bitwise OR).
+class CoverageMap {
+ public:
+  CoverageMap() = default;
+
+  /// A map over `total_points` points, none covered.
+  explicit CoverageMap(std::size_t total_points) : bits_(total_points) {}
+
+  std::size_t total_points() const { return bits_.size(); }
+  std::size_t covered_count() const { return bits_.count(); }
+
+  /// Covered fraction in [0, 1] (0 for an empty map).
+  double fraction() const {
+    return bits_.size() == 0
+               ? 0.0
+               : static_cast<double>(bits_.count()) /
+                     static_cast<double>(bits_.size());
+  }
+
+  /// Unions one observation's point mask into the map.
+  void add(const DynamicBitset& mask) { bits_ |= mask; }
+
+  /// Unions another map (same criterion ⇒ same point space) into this one.
+  void merge(const CoverageMap& other) { bits_ |= other.bits_; }
+
+  /// Points `mask` would newly cover — the greedy-selection gain query.
+  std::size_t gain(const DynamicBitset& mask) const {
+    return bits_.count_new_bits(mask);
+  }
+
+  void reset() { bits_.clear(); }
+
+  const DynamicBitset& bits() const { return bits_; }
+
+  bool operator==(const CoverageMap& other) const {
+    return bits_ == other.bits_;
+  }
+
+ private:
+  DynamicBitset bits_;
+};
+
+/// Maintains P₁ ∪ ... ∪ Pₙ and the derived coverage ratio (paper Eq. 4):
+/// a CoverageMap plus the number of tests that produced it.
 class CoverageAccumulator {
  public:
-  /// `universe_size` = total number of parameters (or neurons).
+  /// `universe_size` = total number of criterion points (parameters for the
+  /// paper's VC metric; Criterion::total_points() in general).
   explicit CoverageAccumulator(std::size_t universe_size);
 
   /// Unions a test's activation mask into the covered set.
@@ -18,19 +67,22 @@ class CoverageAccumulator {
   /// Bits `mask` would newly cover (marginal gain, Eq. 7's ΔVC numerator).
   std::size_t marginal_gain(const DynamicBitset& mask) const;
 
-  std::size_t covered_count() const { return covered_.count(); }
-  std::size_t universe_size() const { return covered_.size(); }
+  std::size_t covered_count() const { return map_.covered_count(); }
+  std::size_t universe_size() const { return map_.total_points(); }
 
   /// Covered fraction in [0, 1].
-  double coverage() const;
+  double coverage() const { return map_.fraction(); }
 
-  const DynamicBitset& covered() const { return covered_; }
+  const DynamicBitset& covered() const { return map_.bits(); }
+
+  /// The covered set as a mergeable snapshot.
+  const CoverageMap& map() const { return map_; }
 
   /// Number of tests added so far.
   std::size_t num_tests() const { return num_tests_; }
 
  private:
-  DynamicBitset covered_;
+  CoverageMap map_;
   std::size_t num_tests_ = 0;
 };
 

@@ -21,6 +21,27 @@ struct NeuronCoverageConfig {
   double threshold = 0.0;
 };
 
+/// Half-open neuron-index range contributed by one activation layer.
+struct NeuronSpan {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
+/// THE neuron accounting, shared by every neuron-family criterion
+/// (neuron/ksection/boundary/topk): walks the activation-layer output
+/// shapes for `item_shape` — every unit of a dense activation output is one
+/// neuron, every CHANNEL of a conv activation output is one neuron
+/// (DeepXplore's definition). Throws when the model has no activations.
+std::vector<NeuronSpan> neuron_spans(const nn::Sequential& model,
+                                     const Shape& item_shape);
+
+/// Appends one batched activation capture's neuron VALUES for `item` (dense
+/// unit activation; conv channel plane mean, accumulated in double) — the
+/// value counterpart of NeuronCoverage's thresholded scan, feeding the
+/// range/top-k criteria.
+void append_neuron_values(const Tensor& activation, std::int64_t item,
+                          double* out, std::size_t& index);
+
 /// Neuron definition: every unit of a dense activation layer is one neuron;
 /// every CHANNEL of a convolutional activation layer is one neuron (its mean
 /// activation is compared against the threshold), following DeepXplore.
@@ -37,6 +58,11 @@ class NeuronCoverage {
   /// reused workspace; no allocations once warmed up). Identical to calling
   /// neuron_mask() per item.
   std::vector<DynamicBitset> neuron_masks_batched(const Tensor& batch);
+
+  /// Into-variant: fills `masks` (resized to the batch size, each bitset
+  /// cleared in place) so warmed-up observe loops allocate no mask storage.
+  void neuron_masks_batched(const Tensor& batch,
+                            std::vector<DynamicBitset>& masks);
 
   std::size_t neuron_count() const { return neuron_count_; }
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "coverage/pool_sweep.h"
+#include "coverage/criterion.h"
 #include "tensor/batch.h"
 #include "util/error.h"
 
@@ -52,13 +52,24 @@ void ParameterCoverage::mask_from_grads(DynamicBitset& mask) {
   mask.or_words(word_scratch_.data(), (count + 63) / 64);
 }
 
+void ParameterCoverage::prepare_mask(DynamicBitset& mask) const {
+  mask.reset_to(static_cast<std::size_t>(param_count_));
+}
+
 DynamicBitset ParameterCoverage::activation_mask(const Tensor& input) {
+  DynamicBitset mask;
+  activation_mask(input, mask);
+  return mask;
+}
+
+void ParameterCoverage::activation_mask(const Tensor& input,
+                                        DynamicBitset& mask) {
   const Tensor batched = stack_batch({input});
   const Tensor logits = model_.forward(batched);
   DNNV_CHECK(logits.shape().ndim() == 2, "model must produce [1, k] logits");
   const std::int64_t k = logits.shape()[1];
 
-  DynamicBitset mask(static_cast<std::size_t>(param_count_));
+  prepare_mask(mask);
   if (config_.engine == CoverageEngine::kAbsSensitivity) {
     Tensor seed(Shape{1, k});
     seed.fill(1.0f);
@@ -76,23 +87,29 @@ DynamicBitset ParameterCoverage::activation_mask(const Tensor& input) {
       mask_from_grads(mask);
     }
   }
-  return mask;
 }
 
 std::vector<DynamicBitset> ParameterCoverage::activation_masks_batched(
     const Tensor& batch) {
+  std::vector<DynamicBitset> masks;
+  activation_masks_batched(batch, masks);
+  return masks;
+}
+
+void ParameterCoverage::activation_masks_batched(
+    const Tensor& batch, std::vector<DynamicBitset>& masks) {
   DNNV_CHECK(batch.shape().ndim() >= 2, "expected a batched input");
   const std::int64_t b = batch.shape()[0];
-  std::vector<DynamicBitset> masks(static_cast<std::size_t>(b));
-  if (b == 0) return masks;
+  masks.resize(static_cast<std::size_t>(b));
+  if (b == 0) return;
 
   if (config_.engine == CoverageEngine::kPerClassExact) {
     // Verification engine: k exact reverse passes per item dominate, so the
     // simple per-item path loses nothing.
     for (std::int64_t i = 0; i < b; ++i) {
-      masks[static_cast<std::size_t>(i)] = activation_mask(slice_batch(batch, i));
+      activation_mask(slice_batch(batch, i), masks[static_cast<std::size_t>(i)]);
     }
-    return masks;
+    return;
   }
 
   const Tensor& logits = model_.forward(batch, workspace_);
@@ -103,11 +120,10 @@ std::vector<DynamicBitset> ParameterCoverage::activation_masks_batched(
   for (std::int64_t i = 0; i < b; ++i) {
     model_.zero_grads();
     model_.sensitivity_backward_item(i, seed, workspace_);
-    DynamicBitset mask(static_cast<std::size_t>(param_count_));
+    DynamicBitset& mask = masks[static_cast<std::size_t>(i)];
+    prepare_mask(mask);
     mask_from_grads(mask);
-    masks[static_cast<std::size_t>(i)] = std::move(mask);
   }
-  return masks;
 }
 
 double ParameterCoverage::validation_coverage(const Tensor& input) {
@@ -118,14 +134,7 @@ double ParameterCoverage::validation_coverage(const Tensor& input) {
 std::vector<DynamicBitset> activation_masks(const nn::Sequential& model,
                                             const std::vector<Tensor>& inputs,
                                             const CoverageConfig& config) {
-  return detail::sweep_pool(
-      model, inputs,
-      [&config](nn::Sequential& local) {
-        return ParameterCoverage(local, config);
-      },
-      [](ParameterCoverage& coverage, const Tensor& batch) {
-        return coverage.activation_masks_batched(batch);
-      });
+  return make_parameter_criterion(model, config)->measure_pool(inputs);
 }
 
 }  // namespace dnnv::cov

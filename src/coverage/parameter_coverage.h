@@ -45,6 +45,10 @@ class ParameterCoverage {
   /// parameter i is activated by `input` (un-batched CHW / feature item).
   DynamicBitset activation_mask(const Tensor& input);
 
+  /// Into-variant of activation_mask: resizes/clears `mask` (reusing its
+  /// word storage when already param_count bits) and fills it.
+  void activation_mask(const Tensor& input, DynamicBitset& mask);
+
   /// Activation masks for every item of `batch` ([B, ...]) from ONE batched
   /// forward plus B per-item sensitivity passes, all sharing this instance's
   /// workspace (no allocations once warmed up on a batch shape). Bit-identical
@@ -54,6 +58,12 @@ class ParameterCoverage {
   /// verification engine falls back to the per-item path internally.
   std::vector<DynamicBitset> activation_masks_batched(const Tensor& batch);
 
+  /// Into-variant: fills `masks` (resized to the batch size, each bitset
+  /// cleared in place) so a warmed-up caller — Criterion::observe, the
+  /// combined generator's probe loop — allocates no mask storage per batch.
+  void activation_masks_batched(const Tensor& batch,
+                                std::vector<DynamicBitset>& masks);
+
   /// Validation coverage of a single test: VC(x) = |activated| / |θ| (Eq. 3).
   double validation_coverage(const Tensor& input);
 
@@ -62,6 +72,9 @@ class ParameterCoverage {
 
  private:
   void mask_from_grads(DynamicBitset& mask);
+
+  /// Clears `mask` in place when already param_count bits, else resizes.
+  void prepare_mask(DynamicBitset& mask) const;
 
   nn::Sequential& model_;
   CoverageConfig config_;

@@ -24,4 +24,23 @@ std::vector<LayerCoverage> per_layer_coverage(nn::Sequential& model,
   return report;
 }
 
+std::vector<CriterionReport> criteria_report(
+    const std::vector<std::string>& names, const CriterionContext& ctx,
+    const CriterionConfig& config, const std::vector<Tensor>& inputs) {
+  std::vector<CriterionReport> report;
+  report.reserve(names.size());
+  for (const auto& name : names) {
+    const auto criterion = make_criterion(name, ctx, config);
+    CoverageMap map(criterion->total_points());
+    for (const auto& mask : criterion->measure_pool(inputs)) map.add(mask);
+    CriterionReport row;
+    row.name = name;
+    row.description = criterion->describe();
+    row.total_points = map.total_points();
+    row.covered = map.covered_count();
+    report.push_back(std::move(row));
+  }
+  return report;
+}
+
 }  // namespace dnnv::cov

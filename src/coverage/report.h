@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "coverage/criterion.h"
 #include "nn/sequential.h"
 #include "util/bitset.h"
 
@@ -27,6 +28,29 @@ struct LayerCoverage {
 /// model's global parameter order.
 std::vector<LayerCoverage> per_layer_coverage(nn::Sequential& model,
                                               const DynamicBitset& covered);
+
+/// One row of the per-criterion summary table: what a set of inputs covers
+/// under one registered criterion.
+struct CriterionReport {
+  std::string name;
+  std::string description;
+  std::size_t total_points = 0;
+  std::size_t covered = 0;
+
+  double fraction() const {
+    return total_points == 0
+               ? 0.0
+               : static_cast<double>(covered) /
+                     static_cast<double>(total_points);
+  }
+};
+
+/// Measures `inputs` under every criterion in `names` (each built with
+/// make_criterion against the same context/config) and reports the covered
+/// totals — the coverage_explorer / bench summary table.
+std::vector<CriterionReport> criteria_report(
+    const std::vector<std::string>& names, const CriterionContext& ctx,
+    const CriterionConfig& config, const std::vector<Tensor>& inputs);
 
 }  // namespace dnnv::cov
 

@@ -11,7 +11,8 @@ namespace dnnv::pipeline {
 namespace {
 
 constexpr std::uint32_t kDeliverableMagic = 0x4C444E44;  // "DNDL"
-constexpr std::uint32_t kDeliverableVersion = 1;
+// v2: manifest carries the coverage-criterion name + config.
+constexpr std::uint32_t kDeliverableVersion = 2;
 
 }  // namespace
 
@@ -19,6 +20,8 @@ void Manifest::save(ByteWriter& writer) const {
   writer.write_string(model_name);
   writer.write_string(method);
   writer.write_string(backend);
+  writer.write_string(criterion);
+  criterion_config.save(writer);
   writer.write_i64(num_tests);
   writer.write_f64(coverage);
 }
@@ -28,6 +31,8 @@ Manifest Manifest::load(ByteReader& reader) {
   manifest.model_name = reader.read_string();
   manifest.method = reader.read_string();
   manifest.backend = reader.read_string();
+  manifest.criterion = reader.read_string();
+  manifest.criterion_config = cov::CriterionConfig::load(reader);
   manifest.num_tests = reader.read_i64();
   manifest.coverage = reader.read_f64();
   return manifest;
@@ -36,8 +41,9 @@ Manifest Manifest::load(ByteReader& reader) {
 std::string Manifest::summary() const {
   std::ostringstream os;
   os << model_name << ": " << num_tests << " '" << method
-     << "' tests qualified on '" << backend << "', VC " << std::fixed
-     << std::setprecision(1) << coverage * 100.0 << "%";
+     << "' tests qualified on '" << backend << "', '" << criterion
+     << "' coverage " << std::fixed << std::setprecision(1)
+     << coverage * 100.0 << "%";
   return os.str();
 }
 
@@ -79,6 +85,30 @@ Deliverable Deliverable::load_file(const std::string& path, std::uint64_t key) {
   } catch (const Error& error) {
     DNNV_THROW("deliverable rejected — wrong key? (" << error.what() << ")");
   }
+}
+
+SuiteCoverage suite_coverage(const Deliverable& deliverable) {
+  DNNV_CHECK(!deliverable.suite.empty(),
+             "deliverable carries no tests to measure");
+  cov::CriterionContext ctx;
+  ctx.model = &deliverable.model;
+  if (deliverable.has_quant) ctx.qmodel = &deliverable.qmodel;
+  ctx.item_shape = deliverable.suite.inputs().front().shape();
+  // Manifests normally ship materialised ranges; the suite itself is the
+  // only calibration material available if a custom criterion wants one.
+  ctx.calibration = &deliverable.suite.inputs();
+  const auto criterion =
+      cov::make_criterion(deliverable.manifest.criterion, ctx,
+                          deliverable.manifest.criterion_config);
+
+  SuiteCoverage result;
+  result.criterion = deliverable.manifest.criterion;
+  result.description = criterion->describe();
+  result.map = cov::CoverageMap(criterion->total_points());
+  for (const auto& mask : criterion->measure_pool(deliverable.suite.inputs())) {
+    result.map.add(mask);
+  }
+  return result;
 }
 
 }  // namespace dnnv::pipeline

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "coverage/criterion.h"
 #include "nn/sequential.h"
 #include "quant/quant_model.h"
 #include "util/serialize.h"
@@ -25,13 +26,20 @@ struct Manifest {
   std::string model_name;  ///< vendor's model identifier
   std::string method;      ///< testgen registry name that generated X
   std::string backend;     ///< validate backend name Y was qualified on
+  /// Coverage registry name the suite was selected/measured under, plus the
+  /// criterion's effective knobs (calibrated ranges materialised) — enough
+  /// for the user side to rebuild the EXACT criterion without the vendor's
+  /// pool and re-measure the shipped suite.
+  std::string criterion = "parameter";
+  cov::CriterionConfig criterion_config;
   std::int64_t num_tests = 0;
-  double coverage = 0.0;   ///< VC(X) at generation time
+  double coverage = 0.0;   ///< criterion coverage at generation time
 
   void save(ByteWriter& writer) const;
   static Manifest load(ByteReader& reader);
 
-  /// "mnist: 50 'combined' tests qualified on 'int8', VC 93.1%" one-liner.
+  /// "mnist: 50 'combined' tests qualified on 'int8', 'parameter' coverage
+  /// 93.1%" one-liner.
   std::string summary() const;
 };
 
@@ -55,6 +63,22 @@ class Deliverable {
   /// dnnv::Error on corruption, truncation or a wrong key.
   static Deliverable load_file(const std::string& path, std::uint64_t key);
 };
+
+/// Per-criterion coverage of a shipped suite, re-measured on the user side.
+struct SuiteCoverage {
+  std::string criterion;    ///< manifest criterion name
+  std::string description;  ///< rebuilt criterion's describe()
+  cov::CoverageMap map;     ///< points the suite covers
+
+  double fraction() const { return map.fraction(); }
+};
+
+/// Rebuilds the manifest's criterion (name + effective config) against the
+/// shipped artifact — the int8 model's dequantized reference when one was
+/// shipped, the float master otherwise — and measures the bundled suite
+/// under it. This is how UserValidator / ValidationService report what a
+/// received suite actually exercises, without the vendor's pool.
+SuiteCoverage suite_coverage(const Deliverable& deliverable);
 
 }  // namespace dnnv::pipeline
 

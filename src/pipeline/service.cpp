@@ -915,6 +915,14 @@ std::size_t ValidationService::resident_deliverables() const {
   return impl_->registry.size();
 }
 
+SuiteCoverage ValidationService::suite_coverage(
+    const DeliverableHandle& handle) const {
+  DNNV_CHECK(handle.valid(), "invalid deliverable handle");
+  // The handle pins the entry, so the bundle is safe to read without the
+  // service lock; measurement itself is criterion work, not scheduler work.
+  return pipeline::suite_coverage(handle.deliverable());
+}
+
 ValidationService::Stats ValidationService::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->stats;

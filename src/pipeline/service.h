@@ -268,6 +268,12 @@ class ValidationService {
   /// Entries currently resident in the registry (pinned + cached).
   std::size_t resident_deliverables() const;
 
+  /// Per-criterion coverage of a registered deliverable's suite, re-measured
+  /// from its manifest's criterion name + config (see
+  /// pipeline::suite_coverage). Runs on the caller's thread — the scheduler
+  /// is not involved.
+  SuiteCoverage suite_coverage(const DeliverableHandle& handle) const;
+
   Stats stats() const;
 
  private:

@@ -47,6 +47,13 @@ class UserValidator {
   validate::Verdict validate(ip::BlackBoxIp& device,
                              bool early_exit = false) const;
 
+  /// Re-measures the bundled suite under the manifest's criterion (rebuilt
+  /// from its shipped name + config against the shipped artifact) — what
+  /// the received tests actually exercise, reported per criterion.
+  SuiteCoverage suite_coverage() const {
+    return pipeline::suite_coverage(*deliverable_);
+  }
+
   const Deliverable& deliverable() const { return *deliverable_; }
 
  private:

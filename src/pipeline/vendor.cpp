@@ -3,7 +3,7 @@
 #include <memory>
 #include <utility>
 
-#include "coverage/parameter_coverage.h"
+#include "coverage/criterion.h"
 #include "tensor/batch.h"
 #include "util/error.h"
 #include "validate/backend.h"
@@ -15,6 +15,8 @@ VendorPipeline::VendorPipeline(VendorOptions options)
   DNNV_CHECK(options_.num_tests > 0, "need a positive test budget");
   DNNV_CHECK(testgen::generator_registered(options_.method),
              "unknown generation method '" << options_.method << "'");
+  DNNV_CHECK(cov::criterion_registered(options_.criterion),
+             "unknown coverage criterion '" << options_.criterion << "'");
   DNNV_CHECK(options_.backend == "float" || options_.backend == "int8",
              "unknown qualification backend '" << options_.backend
                                                << "' (float|int8)");
@@ -36,17 +38,34 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
     deliverable.has_quant = true;
   }
 
-  // 2. Generate the functional tests with the named method.
+  // 2. Build the named coverage criterion the run selects and is measured
+  // under. The parameter knobs come from the generator config — one source
+  // of truth — and range criteria calibrate on the candidate pool. An int8
+  // release binds the criterion to the quantized artifact (its dequantized
+  // reference — the weights the IP executes), so the manifest's coverage is
+  // the SAME number the user side re-measures from the shipped bundle.
   testgen::GeneratorConfig config = options_.generator;
   config.max_tests = options_.num_tests;
+  cov::CriterionConfig criterion_config = options_.criterion_config;
+  criterion_config.parameter = config.coverage;
+  cov::CriterionContext criterion_ctx;
+  criterion_ctx.model = &model;
+  if (deliverable.has_quant) criterion_ctx.qmodel = &deliverable.qmodel;
+  criterion_ctx.item_shape = item_shape;
+  criterion_ctx.calibration = &pool;
+  const auto criterion =
+      cov::make_criterion(options_.criterion, criterion_ctx, criterion_config);
+
+  // 3. Generate the functional tests with the named method, selecting by
+  // criterion gain.
   const auto generator = testgen::make_generator(options_.method, config);
-  cov::CoverageAccumulator accumulator(
-      static_cast<std::size_t>(deliverable.model.param_count()));
+  cov::CoverageAccumulator accumulator(criterion->total_points());
   testgen::GenContext ctx;
   ctx.model = &model;
   ctx.pool = &pool;
   ctx.item_shape = item_shape;
   ctx.num_classes = num_classes;
+  ctx.criterion = criterion.get();
   ctx.accumulator = &accumulator;
   testgen::GenerationResult generation = generator->generate(ctx);
   DNNV_CHECK(!generation.tests.empty(),
@@ -56,18 +75,17 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
   inputs.reserve(generation.tests.size());
   for (const auto& test : generation.tests) inputs.push_back(test.input);
 
-  // Methods that do not track parameter coverage while generating ("neuron",
-  // "random") leave the accumulator empty; sweep the generated suite itself
-  // so the manifest records VC(X) — the same provenance metric — for every
-  // method.
+  // Methods that do not feed the shared accumulator while generating
+  // ("neuron"'s saturation selector) leave it empty; sweep the generated
+  // suite itself so the manifest records the criterion coverage — the same
+  // provenance metric — for every method.
   if (accumulator.covered_count() == 0) {
-    for (const auto& mask :
-         cov::activation_masks(model, inputs, config.coverage)) {
+    for (const auto& mask : criterion->measure_pool(inputs)) {
       accumulator.add(mask);
     }
   }
 
-  // 3. Qualify: golden labels are the BACKEND's own outputs on the test
+  // 4. Qualify: golden labels are the BACKEND's own outputs on the test
   // inputs — the user validates the shipped artifact, not the float master.
   const Tensor batch = stack_batch(inputs);
   std::unique_ptr<validate::ExecutionBackend> backend;
@@ -79,10 +97,13 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
   std::vector<int> golden = backend->predict_clean(batch);
   deliverable.suite = validate::TestSuite::from_labels(inputs, golden);
 
-  // 4. Manifest.
+  // 5. Manifest. The criterion config ships EFFECTIVE (calibrated ranges
+  // materialised), so the user side reconstructs the exact criterion.
   deliverable.manifest.model_name = options_.model_name;
   deliverable.manifest.method = options_.method;
   deliverable.manifest.backend = backend->name();
+  deliverable.manifest.criterion = options_.criterion;
+  deliverable.manifest.criterion_config = criterion->config();
   deliverable.manifest.num_tests =
       static_cast<std::int64_t>(generation.tests.size());
   deliverable.manifest.coverage = accumulator.coverage();

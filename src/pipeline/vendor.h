@@ -21,6 +21,15 @@ struct VendorOptions {
   /// "int8" (calibrate + quantize on the pool, labels from the integer
   /// engine — the artifact the hardware IP actually executes).
   std::string backend = "float";
+  /// coverage registry name the suite is selected and measured under
+  /// ("parameter", "neuron", "ksection", "boundary", "topk", or a custom
+  /// registration); recorded in the manifest with its effective config.
+  std::string criterion = "parameter";
+  /// Criterion knobs. The "parameter" knobs are ALWAYS taken from
+  /// generator.coverage inside run() — one source of truth, so selection
+  /// and measurement cannot silently diverge. Range criteria calibrate on
+  /// the candidate pool unless ranges are materialised here.
+  cov::CriterionConfig criterion_config;
   int num_tests = 50;
   /// Method knobs; max_tests is overridden by num_tests above.
   testgen::GeneratorConfig generator;
@@ -34,8 +43,8 @@ struct VendorOptions {
 /// carry).
 struct VendorReport {
   testgen::GenerationResult generation;  ///< tests + coverage trajectory
-  double coverage = 0.0;                 ///< final VC(X)
-  DynamicBitset covered;                 ///< the covered parameter set
+  double coverage = 0.0;                 ///< final criterion coverage
+  DynamicBitset covered;                 ///< the covered criterion points
   std::vector<int> golden;               ///< qualification labels
   /// Tests where the int8 artifact agrees with the float master
   /// (backend == "int8" only; -1 otherwise).

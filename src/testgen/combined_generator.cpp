@@ -16,20 +16,32 @@ GenerationResult CombinedGenerator::generate(
     const nn::Sequential& model, const std::vector<Tensor>& pool,
     const Shape& item_shape, int num_classes,
     cov::CoverageAccumulator& accumulator) const {
-  const auto masks = cov::activation_masks(model, pool, options_.coverage);
-  return generate(model, pool, masks, item_shape, num_classes, accumulator);
+  const auto criterion =
+      cov::make_parameter_criterion(model, options_.coverage);
+  const auto masks = criterion->measure_pool(pool);
+  return generate(*criterion, model, pool, masks, item_shape, num_classes,
+                  accumulator);
 }
 
 GenerationResult CombinedGenerator::generate(
     const nn::Sequential& model, const std::vector<Tensor>& pool,
     const std::vector<DynamicBitset>& masks, const Shape& item_shape,
     int num_classes, cov::CoverageAccumulator& accumulator) const {
+  const auto criterion =
+      cov::make_parameter_criterion(model, options_.coverage);
+  return generate(*criterion, model, pool, masks, item_shape, num_classes,
+                  accumulator);
+}
+
+GenerationResult CombinedGenerator::generate(
+    cov::Criterion& criterion, const nn::Sequential& model,
+    const std::vector<Tensor>& pool, const std::vector<DynamicBitset>& masks,
+    const Shape& item_shape, int num_classes,
+    cov::CoverageAccumulator& accumulator) const {
   DNNV_CHECK(pool.size() == masks.size(), "pool/mask size mismatch");
 
   GenerationResult result;
   Rng rng(options_.gradient.seed);
-  nn::Sequential true_model = model.clone();
-  cov::ParameterCoverage coverage(true_model, options_.coverage);
   GradientGenerator gradient(options_.gradient);
 
   // Lazy-greedy heap over the pool (see GreedySelector for the argument).
@@ -68,12 +80,16 @@ GenerationResult CombinedGenerator::generate(
   // set — it is regenerated after every options_.probe_refresh greedy
   // commits, not only when committed.
   std::vector<Tensor> probe_inputs;
-  std::vector<DynamicBitset> probe_masks;
+  std::vector<DynamicBitset> probe_masks;  ///< storage reused across probes
   int synth_batches = 0;
   int commits_since_probe = 0;
+  // Masked-model synthesis needs covered bits that index the parameter
+  // space; under other criteria Algorithm 2 descends on an unmasked clone.
+  const bool mask_activated =
+      options_.gradient.mask_activated && criterion.parameter_indexed();
   auto make_probe = [&] {
     nn::Sequential loss_model =
-        options_.gradient.mask_activated
+        mask_activated
             ? GradientGenerator::masked_model(model, accumulator.covered())
             : model.clone();
     const Tensor probe_batch = gradient.generate_batch_tensor(
@@ -84,9 +100,9 @@ GenerationResult CombinedGenerator::generate(
     for (std::int64_t i = 0; i < probe_batch.shape()[0]; ++i) {
       probe_inputs.push_back(slice_batch(probe_batch, i));
     }
-    // Probe masks ride the batched engine: one batched forward on the true
-    // model instead of a forward per probe input.
-    probe_masks = coverage.activation_masks_batched(probe_batch);
+    // Probe masks ride the criterion's batched engine: one batched forward
+    // instead of a forward per probe input, into reused mask storage.
+    criterion.measure(probe_batch, probe_masks);
   };
   auto probe_gain_per_test = [&]() -> double {
     DynamicBitset joint = accumulator.covered();
@@ -107,8 +123,9 @@ GenerationResult CombinedGenerator::generate(
       result.tests.push_back(std::move(test));
       result.coverage_after.push_back(accumulator.coverage());
     }
+    // probe_masks keeps its storage for the next measure(); an empty
+    // probe_inputs marks the cache invalid.
     probe_inputs.clear();
-    probe_masks.clear();
   };
 
   bool switched = false;

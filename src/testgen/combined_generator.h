@@ -6,6 +6,7 @@
 #ifndef DNNV_TESTGEN_COMBINED_GENERATOR_H_
 #define DNNV_TESTGEN_COMBINED_GENERATOR_H_
 
+#include "coverage/criterion.h"
 #include "testgen/gradient_generator.h"
 #include "testgen/greedy_selector.h"
 
@@ -37,9 +38,25 @@ class CombinedGenerator {
 
   explicit CombinedGenerator(Options options);
 
-  /// `pool` is the training candidate set. `masks` are its precomputed
-  /// activation masks (from cov::activation_masks with the same coverage
-  /// config); passing them in lets benches share the expensive pool pass.
+  /// Criterion-driven core: greedy gains and Algorithm 2 probe masks are
+  /// measured by `criterion` (whose covered set is NOT consulted — the
+  /// shared `accumulator` carries the run's covered state). `masks` are the
+  /// pool's precomputed point masks under the SAME criterion. Algorithm 2's
+  /// masked-model synthesis applies only when criterion.parameter_indexed()
+  /// (the covered bits must address the parameter space to be zeroed out);
+  /// other criteria descend on an unmasked clone.
+  GenerationResult generate(cov::Criterion& criterion,
+                            const nn::Sequential& model,
+                            const std::vector<Tensor>& pool,
+                            const std::vector<DynamicBitset>& masks,
+                            const Shape& item_shape, int num_classes,
+                            cov::CoverageAccumulator& accumulator) const;
+
+  /// Historical entry point: parameter-activation criterion built from
+  /// Options::coverage. `masks` are its precomputed activation masks (from
+  /// cov::activation_masks with the same coverage config); passing them in
+  /// lets benches share the expensive pool pass. Bit-identical to the
+  /// pre-criterion implementation.
   GenerationResult generate(const nn::Sequential& model,
                             const std::vector<Tensor>& pool,
                             const std::vector<DynamicBitset>& masks,

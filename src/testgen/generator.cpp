@@ -29,13 +29,17 @@ void require_item(const GenContext& ctx, const char* method) {
 }
 
 /// Resolves the shared accumulator, or backs the run with `scratch` when the
-/// caller did not pass one (the trajectory still reaches the result).
+/// caller did not pass one (the trajectory still reaches the result). The
+/// universe comes from the masks, the criterion's point space, or (legacy)
+/// the model's parameter count — in that order.
 cov::CoverageAccumulator& resolve_accumulator(
     const GenContext& ctx, std::unique_ptr<cov::CoverageAccumulator>& scratch) {
   if (ctx.accumulator != nullptr) return *ctx.accumulator;
   const std::size_t universe =
       ctx.masks != nullptr && !ctx.masks->empty()
           ? ctx.masks->front().size()
+      : ctx.criterion != nullptr
+          ? ctx.criterion->total_points()
           : static_cast<std::size_t>(ctx.model->param_count());
   scratch = std::make_unique<cov::CoverageAccumulator>(universe);
   return *scratch;
@@ -54,7 +58,6 @@ class GreedyAdapter final : public Generator {
   std::string name() const override { return "greedy"; }
 
   GenerationResult generate(const GenContext& ctx) const override {
-    const auto& model = require_model(ctx, "greedy");
     const auto& pool = require_pool(ctx, "greedy");
     std::unique_ptr<cov::CoverageAccumulator> scratch;
     auto& accumulator = resolve_accumulator(ctx, scratch);
@@ -63,6 +66,12 @@ class GreedyAdapter final : public Generator {
       std::vector<bool> used(pool.size(), false);
       return selector.select_with_masks(pool, *ctx.masks, accumulator, used);
     }
+    if (ctx.criterion != nullptr) {
+      const auto masks = ctx.criterion->measure_pool(pool);
+      std::vector<bool> used(pool.size(), false);
+      return selector.select_with_masks(pool, masks, accumulator, used);
+    }
+    const auto& model = require_model(ctx, "greedy");
     return selector.select(model, pool, accumulator);
   }
 
@@ -85,8 +94,8 @@ class GradientAdapter final : public Generator {
     require_item(ctx, "gradient");
     std::unique_ptr<cov::CoverageAccumulator> scratch;
     auto& accumulator = resolve_accumulator(ctx, scratch);
-    return GradientGenerator(options_).generate(model, ctx.item_shape,
-                                                ctx.num_classes, accumulator);
+    return GradientGenerator(options_).generate(
+        model, ctx.item_shape, ctx.num_classes, accumulator, ctx.criterion);
   }
 
  private:
@@ -113,6 +122,16 @@ class CombinedAdapter final : public Generator {
     std::unique_ptr<cov::CoverageAccumulator> scratch;
     auto& accumulator = resolve_accumulator(ctx, scratch);
     const CombinedGenerator generator(options_);
+    if (ctx.criterion != nullptr) {
+      if (ctx.masks != nullptr) {
+        return generator.generate(*ctx.criterion, model, pool, *ctx.masks,
+                                  ctx.item_shape, ctx.num_classes,
+                                  accumulator);
+      }
+      const auto masks = ctx.criterion->measure_pool(pool);
+      return generator.generate(*ctx.criterion, model, pool, masks,
+                                ctx.item_shape, ctx.num_classes, accumulator);
+    }
     if (ctx.masks != nullptr) {
       return generator.generate(model, pool, *ctx.masks, ctx.item_shape,
                                 ctx.num_classes, accumulator);
@@ -136,11 +155,23 @@ class NeuronAdapter final : public Generator {
   std::string name() const override { return "neuron"; }
 
   GenerationResult generate(const GenContext& ctx) const override {
-    const auto& model = require_model(ctx, "neuron");
     const auto& pool = require_pool(ctx, "neuron");
+    const NeuronCoverageSelector selector(options_);
+    // With a criterion the "neuron" METHOD becomes its selection strategy —
+    // greedy to saturation, then random fill — over the criterion's points
+    // (its masks when precomputed). Without one it keeps its historical
+    // neuron-coverage metric.
+    if (ctx.masks != nullptr && ctx.criterion != nullptr) {
+      return selector.select_with_masks(pool, *ctx.masks);
+    }
+    if (ctx.criterion != nullptr) {
+      return selector.select_with_masks(pool,
+                                        ctx.criterion->measure_pool(pool));
+    }
+    const auto& model = require_model(ctx, "neuron");
     DNNV_CHECK(ctx.item_shape.ndim() > 0,
                "neuron generator needs ctx.item_shape");
-    return NeuronCoverageSelector(options_).select(model, ctx.item_shape, pool);
+    return selector.select(model, ctx.item_shape, pool);
   }
 
  private:
@@ -157,8 +188,9 @@ class RandomAdapter final : public Generator {
   GenerationResult generate(const GenContext& ctx) const override {
     const auto& pool = require_pool(ctx, "random");
     GenerationResult result = RandomSelector(max_tests_, seed_).select(pool);
-    // With pool masks at hand the control also reports its parameter-coverage
-    // trajectory (what Fig 3 plots for the random curve).
+    // With pool masks (or a criterion to measure them) at hand the control
+    // also reports its coverage trajectory (what Fig 3 plots for the random
+    // curve). Selection itself never consults coverage.
     if (ctx.masks != nullptr) {
       DNNV_CHECK(ctx.masks->size() == pool.size(), "pool/mask size mismatch");
       std::unique_ptr<cov::CoverageAccumulator> scratch;
@@ -166,6 +198,19 @@ class RandomAdapter final : public Generator {
       for (const auto& test : result.tests) {
         accumulator.add(
             (*ctx.masks)[static_cast<std::size_t>(test.pool_index)]);
+        result.coverage_after.push_back(accumulator.coverage());
+      }
+      result.final_coverage = accumulator.coverage();
+    } else if (ctx.criterion != nullptr) {
+      // Measure only the selected tests — the whole-pool pass is for benches
+      // that share masks across methods.
+      std::vector<Tensor> selected;
+      selected.reserve(result.tests.size());
+      for (const auto& test : result.tests) selected.push_back(test.input);
+      std::unique_ptr<cov::CoverageAccumulator> scratch;
+      auto& accumulator = resolve_accumulator(ctx, scratch);
+      for (const auto& mask : ctx.criterion->measure_pool(selected)) {
+        accumulator.add(mask);
         result.coverage_after.push_back(accumulator.coverage());
       }
       result.final_coverage = accumulator.coverage();

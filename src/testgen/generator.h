@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "coverage/accumulator.h"
+#include "coverage/criterion.h"
 #include "coverage/neuron_coverage.h"
 #include "coverage/parameter_coverage.h"
 #include "nn/sequential.h"
@@ -38,17 +39,25 @@ struct GenContext {
   /// Training-candidate pool. Required by pool-selection methods
   /// ("greedy", "combined", "neuron", "random").
   const std::vector<Tensor>* pool = nullptr;
-  /// Optional precomputed parameter-activation masks of `pool` (from
-  /// cov::activation_masks with the SAME coverage config). Passing them lets
-  /// benches share the expensive pool pass across methods; when absent,
-  /// methods that need masks compute their own.
+  /// Optional precomputed pool masks (from ctx.criterion->measure_pool, or
+  /// cov::activation_masks with the SAME coverage config when no criterion
+  /// is set). Passing them lets benches share the expensive pool pass across
+  /// methods; when absent, methods that need masks compute their own.
   const std::vector<DynamicBitset>* masks = nullptr;
   /// Un-batched input shape (CHW / feature vector).
   Shape item_shape;
   int num_classes = 0;
+  /// Coverage criterion the run selects by (borrowed; single-threaded use).
+  /// When set, pool/probe masks come from criterion->measure*, greedy picks
+  /// maximise criterion gain, and the accumulator universe is
+  /// criterion->total_points(). When null, methods keep their historical
+  /// metric: parameter-activation coverage built from the generator config
+  /// ("greedy"/"gradient"/"combined") or neuron coverage ("neuron") — the
+  /// bit-identical legacy paths.
+  cov::Criterion* criterion = nullptr;
   /// Shared coverage accumulator, updated as tests are emitted. Optional:
-  /// when null, methods that track parameter coverage use a scratch one
-  /// (the trajectory still lands in GenerationResult::coverage_after).
+  /// when null, methods that track coverage use a scratch one (the
+  /// trajectory still lands in GenerationResult::coverage_after).
   cov::CoverageAccumulator* accumulator = nullptr;
 };
 

@@ -11,6 +11,7 @@
 #define DNNV_TESTGEN_GRADIENT_GENERATOR_H_
 
 #include "coverage/accumulator.h"
+#include "coverage/criterion.h"
 #include "coverage/parameter_coverage.h"
 #include "nn/sequential.h"
 #include "testgen/functional_test.h"
@@ -54,9 +55,14 @@ class GradientGenerator {
 
   /// Generates batches of k tests until the budget is reached, measuring
   /// coverage against `model` and updating `accumulator` after each test.
+  /// `criterion` (borrowed, optional) replaces the default parameter-
+  /// activation metric built from Options::coverage: synthesised batches
+  /// are measured by it, and the masked-model steering applies only when
+  /// it is parameter-indexed.
   GenerationResult generate(const nn::Sequential& model,
                             const Shape& item_shape, int num_classes,
-                            cov::CoverageAccumulator& accumulator) const;
+                            cov::CoverageAccumulator& accumulator,
+                            cov::Criterion* criterion = nullptr) const;
 
   /// Synthesises one batch of k inputs (class i descending loss toward label
   /// i) against `loss_model` — exposed for the combined method's probing.

@@ -11,8 +11,15 @@ GenerationResult NeuronCoverageSelector::select(
     const nn::Sequential& model, const Shape& item_shape,
     const std::vector<Tensor>& pool) const {
   DNNV_CHECK(!pool.empty(), "empty candidate pool");
-  const auto masks =
-      cov::neuron_masks(model, item_shape, pool, options_.coverage);
+  return select_with_masks(
+      pool, cov::neuron_masks(model, item_shape, pool, options_.coverage));
+}
+
+GenerationResult NeuronCoverageSelector::select_with_masks(
+    const std::vector<Tensor>& pool,
+    const std::vector<DynamicBitset>& masks) const {
+  DNNV_CHECK(!pool.empty(), "empty candidate pool");
+  DNNV_CHECK(pool.size() == masks.size(), "pool/mask size mismatch");
 
   DynamicBitset covered(masks.front().size());
   std::vector<bool> used(pool.size(), false);

@@ -28,6 +28,13 @@ class NeuronCoverageSelector {
   GenerationResult select(const nn::Sequential& model, const Shape& item_shape,
                           const std::vector<Tensor>& pool) const;
 
+  /// Criterion-generic core: greedy saturation + random fill over arbitrary
+  /// per-pool-item point masks (neuron masks historically; any
+  /// cov::Criterion::measure_pool output in general).
+  GenerationResult select_with_masks(
+      const std::vector<Tensor>& pool,
+      const std::vector<DynamicBitset>& masks) const;
+
  private:
   Options options_;
 };

@@ -35,6 +35,17 @@ class DynamicBitset {
   /// Clears all bits.
   void clear();
 
+  /// Makes this an all-clear bitset of `size` bits, reusing the word
+  /// storage when the size already matches — the mask-buffer reuse
+  /// primitive of the coverage observe/measure hot paths.
+  void reset_to(std::size_t size) {
+    if (size_ == size) {
+      clear();
+    } else {
+      *this = DynamicBitset(size);
+    }
+  }
+
   /// Number of set bits.
   std::size_t count() const;
 
