@@ -9,12 +9,17 @@
 // pattern once per deliverable+backend.
 //
 //   bench_service_throughput [--sessions 16] [--tests 50] [--tiny]
-//                            [--backend int8] [--min-speedup 0]
+//                            [--backend int8] [--min-speedup 0] [--quick]
+//                            [--json [path]] [--baseline path]
+//                            [--max-regress 15]
 //
 // Prints per-model wall-clock for both paths, the aggregate speedup (the
 // acceptance bar is >= 3x at 16 sessions), per-session latency percentiles,
 // and the scheduler's sharing counters. Exits non-zero when --min-speedup
-// is set and not met, or when any verdict is not SECURE.
+// is set and not met, when any verdict is not SECURE, or when --baseline
+// finds a hardware-matched metric regressed by more than --max-regress %.
+// --quick shrinks to tiny zoo models for CI smoke runs; --json writes the
+// BENCH_service_throughput.json snapshot (see bench/bench_json.h).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -27,10 +32,13 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "exp/model_zoo.h"
 #include "pipeline/service.h"
 #include "pipeline/user.h"
 #include "pipeline/vendor.h"
+#include "quant/qconv.h"
+#include "quant/qgemm.h"
 #include "util/cli.h"
 #include "util/error.h"
 
@@ -120,18 +128,23 @@ ModelRun run_model(const exp::TrainedModel& trained,
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"sessions", "tests", "tiny", "backend",
-                                    "min-speedup", "paper-scale", "retrain"});
+    const CliArgs args(argc, argv,
+                       {"sessions", "tests", "tiny", "backend", "min-speedup",
+                        "paper-scale", "retrain", "quick", "json", "baseline",
+                        "max-regress"});
+    const bool quick = args.get_bool("quick", false);
     const int num_sessions = args.get_int("sessions", 16);
     DNNV_CHECK(num_sessions > 0, "--sessions must be positive");
-    const int num_tests = args.get_int("tests", 50);
+    const int num_tests = args.get_int("tests", quick ? 24 : 50);
     const std::string backend = args.get_string("backend", "int8");
     const double min_speedup = args.get_double("min-speedup", 0.0);
 
     bench::banner("validation service throughput",
                   "SS V deployment at scale: concurrent user qualification");
+    std::cout << "engine: " << quant::qgemm_config_string()
+              << " conv=" << quant::qconv_path_name() << "\n";
     auto zoo = bench::zoo_options(args);
-    zoo.tiny = args.get_bool("tiny", false);
+    zoo.tiny = quick || args.get_bool("tiny", false);
 
     std::vector<ModelRun> runs;
     {
@@ -146,6 +159,7 @@ int main(int argc, char** argv) {
     }
 
     bool ok = true;
+    std::vector<bench::BenchMetric> metrics;
     std::cout << std::fixed << std::setprecision(3);
     for (const auto& run : runs) {
       const double speedup = run.service_seconds > 0.0
@@ -172,6 +186,40 @@ int main(int argc, char** argv) {
       if (min_speedup > 0.0 && speedup < min_speedup) {
         std::cout << "  FAIL: speedup " << speedup << " < required "
                   << min_speedup << "\n";
+        ok = false;
+      }
+      const double per_second =
+          run.service_seconds > 0.0 ? num_sessions / run.service_seconds : 0.0;
+      metrics.push_back(
+          {run.name + "_sequential_s", run.baseline_seconds, "s", false});
+      metrics.push_back(
+          {run.name + "_service_s", run.service_seconds, "s", false});
+      metrics.push_back({run.name + "_service_speedup", speedup, "x", true});
+      metrics.push_back(
+          {run.name + "_validations_per_s", per_second, "1/s", true});
+      // Tail latency stays a printed diagnostic only: single-digit-ms p90
+      // swings 50%+ between runs, which no regression gate can sit on.
+    }
+
+    if (args.has("json")) {
+      std::string path = args.get_string("json", "");
+      if (path.empty() || path == "true") path = "BENCH_service_throughput.json";
+      std::map<std::string, std::string> config;
+      config["quick"] = quick ? "1" : "0";
+      config["sessions"] = std::to_string(num_sessions);
+      config["tests"] = std::to_string(num_tests);
+      config["backend"] = backend;
+      config["tiny"] = zoo.tiny ? "1" : "0";
+      config["conv_path"] = quant::qconv_path_name();
+      bench::write_bench_json(path, "service_throughput", config, metrics);
+    }
+    if (args.has("baseline")) {
+      std::cout << "diff vs baseline:\n";
+      const int regressions =
+          bench::diff_against_baseline(metrics, args.get_string("baseline", ""),
+                                       args.get_double("max-regress", 15.0));
+      if (regressions > 0) {
+        std::cerr << regressions << " metric(s) regressed beyond the gate\n";
         ok = false;
       }
     }

@@ -37,6 +37,8 @@
 #include "pipeline/service.h"
 #include "pipeline/user.h"
 #include "pipeline/vendor.h"
+#include "quant/qconv.h"
+#include "quant/qgemm.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/table.h"
@@ -83,6 +85,9 @@ int run_vendor(const CliArgs& args) {
   if (report.backend_float_agreement >= 0) {
     std::cout << ", int8/float golden agreement " << report.backend_float_agreement
               << "/" << report.generation.tests.size();
+  }
+  if (!report.kernel_config.empty()) {
+    std::cout << "\nqualification engine: " << report.kernel_config;
   }
   std::cout << "\nwrote " << out << " (" << deliverable.manifest.summary()
             << ")\n";
@@ -180,6 +185,8 @@ int run_serve(const CliArgs& args) {
             << "scheduler: " << stats.batches << " micro-batches, "
             << stats.predicted << " tests inferred, " << stats.cache_served
             << " served by cross-session reuse\n"
+            << "engine: " << quant::qgemm_config_string()
+            << " conv=" << quant::qconv_path_name() << "\n"
             << "verdicts: " << (num_sessions - tampered) << " SECURE, "
             << tampered << " TAMPERED\n";
   return tampered == 0 ? 0 : 2;

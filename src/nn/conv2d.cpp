@@ -43,8 +43,7 @@ Shape Conv2d::output_shape(const Shape& input_shape) const {
 
 Tensor Conv2d::forward(const Tensor& input) {
   Tensor output(output_shape(input.shape()));
-  Workspace scratch;
-  forward_into(0, input, output, scratch);
+  forward_into(0, input, output, scratch_ws_);
   return output;
 }
 
@@ -84,8 +83,7 @@ void Conv2d::forward_into(std::size_t, const Tensor& input, Tensor& output,
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_.shape());
-  Workspace scratch;
-  backward_into(0, grad_output, grad_input, scratch);
+  backward_into(0, grad_output, grad_input, scratch_ws_);
   return grad_input;
 }
 
@@ -129,8 +127,7 @@ void Conv2d::backward_into(std::size_t index, const Tensor& grad_output,
 
 Tensor Conv2d::sensitivity_backward(const Tensor& sens_output) {
   Tensor sens_input(cached_input_.shape());
-  Workspace scratch;
-  sensitivity_backward_into(0, sens_output, sens_input, scratch);
+  sensitivity_backward_into(0, sens_output, sens_input, scratch_ws_);
   return sens_input;
 }
 

@@ -4,6 +4,7 @@
 
 #include "nn/init.h"
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace dnnv::nn {
 
@@ -68,6 +69,12 @@ class Conv2d : public Layer {
   Tensor cached_cols_;    // [N, col_rows, out_h*out_w]
   std::int64_t cached_out_h_ = 0;
   std::int64_t cached_out_w_ = 0;
+
+  // Scratch arena for the standalone forward()/backward()/
+  // sensitivity_backward() entry points (the calibration loop's path), so
+  // repeated calls reuse their col-gradient buffers instead of allocating a
+  // fresh Workspace per call. Never cloned — each copy warms its own.
+  Workspace scratch_ws_;
 };
 
 }  // namespace dnnv::nn

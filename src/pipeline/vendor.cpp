@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "coverage/criterion.h"
+#include "quant/qconv.h"
+#include "quant/qgemm.h"
 #include "tensor/batch.h"
 #include "util/error.h"
 #include "validate/backend.h"
@@ -121,6 +123,8 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
         agree += report->golden[i] == float_labels[i];
       }
       report->backend_float_agreement = agree;
+      report->kernel_config = quant::qgemm_config_string() +
+                              " conv=" + quant::qconv_path_name();
     }
     report->generation = std::move(generation);
   }

@@ -49,6 +49,10 @@ struct VendorReport {
   /// Tests where the int8 artifact agrees with the float master
   /// (backend == "int8" only; -1 otherwise).
   int backend_float_agreement = -1;
+  /// Kernel + tiling configuration the qualification labels were produced
+  /// under (backend == "int8"), so qualification logs are attributable to a
+  /// micro-kernel the same way BENCH_*.json runs are.
+  std::string kernel_config;
 };
 
 /// Runs the full vendor release flow. Stateless apart from its options;

@@ -1,239 +1,38 @@
 #include "quant/qgemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
+#include "quant/qgemm_panels.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
-
-#if defined(__AVX512VNNI__) && defined(__AVX512BW__) && defined(__AVX512F__)
-#include <immintrin.h>
-#define DNNV_QGEMM_VNNI 1
-#else
-#define DNNV_QGEMM_VNNI 0
-#endif
 
 namespace dnnv::quant {
 namespace {
 
-// Blocking mirrors the float kernel (tensor/gemm.cpp): kMC x kNC macro-tiles
-// of C over kKC-deep packed slices, kMR x kNR register tile. K is padded to
-// quads inside the panels because the VNNI instruction (vpdpbusd) consumes
-// int8 four at a time.
-//
+using namespace detail;
+
 // Signedness: vpdpbusd multiplies UNSIGNED a-bytes by signed b-bytes. A is
 // therefore packed with a +128 offset (s8 XOR 0x80), and the per-column sums
 // of B collected during packing undo it exactly:
 //   sum_k (a+128)*b = sum_k a*b + 128 * colsum(b).
 // Everything stays in exact int32 (see the overflow contract in the header),
-// so the scalar fallback — which skips the offset entirely — produces
-// bit-identical results.
-constexpr std::int64_t kMR = 8;
-constexpr std::int64_t kNR = 32;  // 2 zmm of 16 int32 lanes
-constexpr std::int64_t kMC = 64;
-constexpr std::int64_t kKC = 256;  // multiple of 4
-constexpr std::int64_t kNC = 512;
+// so the scalar kernel — which skips the offset (and colsum) entirely —
+// produces bit-identical results.
 
-#if DNNV_QGEMM_VNNI
-constexpr std::uint8_t kAZero = 0x80;  // offset-encoded zero
-#else
-constexpr std::uint8_t kAZero = 0x00;
-#endif
+std::atomic<QGemmKernel> g_kernel{QGemmKernel::kAuto};
 
-inline std::uint8_t encode_a(std::int8_t v) {
-  return static_cast<std::uint8_t>(v) ^ kAZero;
+QGemmKernel resolve(QGemmKernel k) {
+  if (k != QGemmKernel::kAuto) return k;
+  return qgemm_vnni_available() ? QGemmKernel::kVnni : QGemmKernel::kScalar;
 }
 
-/// Packs A[ic..ic+mc, pc..pc+kc] into kMR-row panels of K-quads:
-/// dst[quad][row][4] — the 4 bytes a row contributes to one vpdpbusd.
-/// Interior quads move 4 bytes at a time as a u32 (the offset encode is one
-/// XOR against 0x80808080); only the ragged edges take the byte loop.
-void pack_a(const std::int8_t* a, std::int64_t lda, std::int64_t ic,
-            std::int64_t pc, std::int64_t mc, std::int64_t kc,
-            std::uint8_t* dst) {
-  const std::int64_t kc4 = (kc + 3) / 4;
-  const std::int64_t full_q = kc / 4;  // quads with no k padding
-  const std::uint32_t xor_mask = kAZero * 0x01010101u;
-  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
-    const std::int64_t rows = std::min(kMR, mc - ir);
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const std::int8_t* src = a + (ic + ir + r) * lda + pc;
-      std::uint8_t* out = dst + r * 4;
-      for (std::int64_t q = 0; q < full_q; ++q) {
-        std::uint32_t quad;
-        std::memcpy(&quad, src + q * 4, 4);
-        quad ^= xor_mask;
-        std::memcpy(out + q * kMR * 4, &quad, 4);
-      }
-      for (std::int64_t q = full_q; q < kc4; ++q) {
-        for (std::int64_t t = 0; t < 4; ++t) {
-          out[q * kMR * 4 + t] =
-              q * 4 + t < kc ? encode_a(src[q * 4 + t]) : kAZero;
-        }
-      }
-    }
-    for (std::int64_t r = rows; r < kMR; ++r) {  // zero-pad missing rows
-      std::uint8_t* out = dst + r * 4;
-      for (std::int64_t q = 0; q < kc4; ++q) {
-        std::memset(out + q * kMR * 4, kAZero, 4);
-      }
-    }
-    dst += kc4 * kMR * 4;
-  }
-}
-
-/// Packs B[pc..pc+kc, jc..jc+nc] into kNR-column panels of K-quads and
-/// collects per-column sums (the offset correction). VNNI wants the quad
-/// interleaved per lane (dst[quad][col][4] = one int32 lane of the b
-/// operand); the scalar kernel wants columns contiguous per k step
-/// (dst[quad][4][kNR]) so its inner j loop autovectorizes.
-void pack_b(const std::int8_t* b, std::int64_t ldb, std::int64_t pc,
-            std::int64_t jc, std::int64_t kc, std::int64_t nc, std::int8_t* dst,
-            std::int32_t* colsum) {
-  const std::int64_t kc4 = (kc + 3) / 4;
-  for (std::int64_t j = 0; j < nc; ++j) colsum[j] = 0;
-  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
-    const std::int64_t cols = std::min(kNR, nc - jr);
-    const bool full = cols == kNR;
-    for (std::int64_t q = 0; q < kc4; ++q) {
-      std::int8_t* out = dst + q * kNR * 4;
-      for (std::int64_t t = 0; t < 4; ++t) {
-        const std::int64_t p = q * 4 + t;
-        if (full && p < kc) {  // interior: branch-free row copy
-          const std::int8_t* src = b + (pc + p) * ldb + jc + jr;
-          std::int32_t* sums = colsum + jr;
-          for (std::int64_t j = 0; j < kNR; ++j) {
-#if DNNV_QGEMM_VNNI
-            out[j * 4 + t] = src[j];
-#else
-            out[t * kNR + j] = src[j];
-#endif
-            sums[j] += src[j];
-          }
-          continue;
-        }
-        for (std::int64_t j = 0; j < kNR; ++j) {
-          const bool live = j < cols && p < kc;
-          const std::int8_t v =
-              live ? b[(pc + p) * ldb + jc + jr + j] : std::int8_t{0};
-#if DNNV_QGEMM_VNNI
-          out[j * 4 + t] = v;
-#else
-          out[t * kNR + j] = v;
-#endif
-          if (live) colsum[jr + j] += v;
-        }
-      }
-    }
-    dst += kc4 * kNR * 4;
-  }
-}
-
-#if DNNV_QGEMM_VNNI
-
-/// C tile (rows x cols at c, leading dim ldc) += a_panel * b_panel over kc4
-/// K-quads, with the unsigned-offset correction (128 * colsum) subtracted in
-/// registers. Partial tiles use AVX-512 write masks — no scalar edge path.
-void micro_kernel(std::int64_t kc4, const std::uint8_t* a_panel,
-                  const std::int8_t* b_panel, const std::int32_t* colsum,
-                  std::int32_t* c, std::int64_t ldc, std::int64_t rows,
-                  std::int64_t cols) {
-  __m512i acc0[kMR];
-  __m512i acc1[kMR];
-  for (std::int64_t r = 0; r < kMR; ++r) {
-    acc0[r] = _mm512_setzero_si512();
-    acc1[r] = _mm512_setzero_si512();
-  }
-  for (std::int64_t q = 0; q < kc4; ++q) {
-    const __m512i b0 =
-        _mm512_loadu_si512(reinterpret_cast<const void*>(b_panel + q * kNR * 4));
-    const __m512i b1 = _mm512_loadu_si512(
-        reinterpret_cast<const void*>(b_panel + q * kNR * 4 + 64));
-    const std::uint8_t* aq = a_panel + q * kMR * 4;
-    for (std::int64_t r = 0; r < kMR; ++r) {
-      std::int32_t quad;
-      std::memcpy(&quad, aq + r * 4, 4);
-      const __m512i av = _mm512_set1_epi32(quad);
-      acc0[r] = _mm512_dpbusd_epi32(acc0[r], av, b0);
-      acc1[r] = _mm512_dpbusd_epi32(acc1[r], av, b1);
-    }
-  }
-  // corr = 128 * colsum, subtracted once per C element visit (each K slice
-  // packs its own colsum, so slices compose additively).
-  const __m512i corr0 = _mm512_slli_epi32(
-      _mm512_loadu_si512(reinterpret_cast<const void*>(colsum)), 7);
-  const __m512i corr1 = _mm512_slli_epi32(
-      _mm512_loadu_si512(reinterpret_cast<const void*>(colsum + 16)), 7);
-  const std::uint32_t lane_mask =
-      cols >= kNR ? 0xFFFFFFFFu : ((1u << cols) - 1u);
-  const __mmask16 m0 = static_cast<__mmask16>(lane_mask & 0xFFFFu);
-  const __mmask16 m1 = static_cast<__mmask16>(lane_mask >> 16);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::int32_t* c_row = c + r * ldc;
-    const __m512i t0 = _mm512_sub_epi32(acc0[r], corr0);
-    const __m512i t1 = _mm512_sub_epi32(acc1[r], corr1);
-    __m512i old0 = _mm512_maskz_loadu_epi32(m0, c_row);
-    __m512i old1 = _mm512_maskz_loadu_epi32(m1, c_row + 16);
-    _mm512_mask_storeu_epi32(c_row, m0, _mm512_add_epi32(old0, t0));
-    _mm512_mask_storeu_epi32(c_row + 16, m1, _mm512_add_epi32(old1, t1));
-  }
-}
-
-#else
-
-void micro_kernel(std::int64_t kc4, const std::uint8_t* a_panel,
-                  const std::int8_t* b_panel, std::int32_t* acc) {
-  std::fill(acc, acc + kMR * kNR, 0);
-  for (std::int64_t q = 0; q < kc4; ++q) {
-    const std::uint8_t* aq = a_panel + q * kMR * 4;
-    const std::int8_t* bq = b_panel + q * kNR * 4;
-    for (std::int64_t t = 0; t < 4; ++t) {
-      const std::int8_t* bt = bq + t * kNR;
-      for (std::int64_t r = 0; r < kMR; ++r) {
-        const auto ar = static_cast<std::int32_t>(
-            static_cast<std::int8_t>(aq[r * 4 + t]));  // kAZero == 0: raw s8
-        std::int32_t* accr = acc + r * kNR;
-        for (std::int64_t j = 0; j < kNR; ++j) {
-          accr[j] += ar * static_cast<std::int32_t>(bt[j]);
-        }
-      }
-    }
-  }
-}
-
-#endif  // DNNV_QGEMM_VNNI
-
-/// One kMC x kNC macro-block of C; applies the unsigned-offset correction
-/// while accumulating the register tile into C.
-void macro_block(std::int64_t mc, std::int64_t nc, std::int64_t kc,
-                 const std::uint8_t* a_pack, const std::int8_t* b_pack,
-                 const std::int32_t* colsum, std::int32_t* c,
-                 std::int64_t ldc) {
-  const std::int64_t kc4 = (kc + 3) / 4;
-  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
-    const std::int64_t cols = std::min(kNR, nc - jr);
-    const std::int8_t* b_panel = b_pack + (jr / kNR) * kc4 * kNR * 4;
-    for (std::int64_t ir = 0; ir < mc; ir += kMR) {
-      const std::int64_t rows = std::min(kMR, mc - ir);
-      const std::uint8_t* a_panel = a_pack + (ir / kMR) * kc4 * kMR * 4;
-#if DNNV_QGEMM_VNNI
-      micro_kernel(kc4, a_panel, b_panel, colsum + jr, c + ir * ldc + jr, ldc,
-                   rows, cols);
-#else
-      alignas(64) std::int32_t acc[kMR * kNR];
-      micro_kernel(kc4, a_panel, b_panel, acc);
-      for (std::int64_t r = 0; r < rows; ++r) {
-        std::int32_t* c_row = c + (ir + r) * ldc + jr;
-        const std::int32_t* acc_row = acc + r * kNR;
-        for (std::int64_t j = 0; j < cols; ++j) c_row[j] += acc_row[j];
-      }
-      (void)colsum;
-#endif
-    }
-  }
-}
-
+// Per-thread packing arenas: resized in place, so a warmed-up thread packs
+// with zero allocations. Thread-local (not per-call) because concurrent
+// GEMMs on different threads must not share pack storage.
 std::vector<std::uint8_t>& a_pack_buffer() {
   static thread_local std::vector<std::uint8_t> buf;
   return buf;
@@ -249,57 +48,103 @@ std::vector<std::int32_t>& colsum_buffer() {
   return buf;
 }
 
-}  // namespace
+// Tile parallelism pays for itself only past this many int8 MACs.
+constexpr std::int64_t kParallelMinWork = std::int64_t{1} << 20;
 
-void qgemm(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
-           const std::int8_t* b, std::int32_t* c) {
-  DNNV_CHECK(m >= 0 && n >= 0 && k >= 0, "negative qgemm dims");
-  DNNV_CHECK(k <= 65536, "qgemm K " << k << " exceeds the int32 overflow bound");
-  std::fill(c, c + m * n, 0);
-  if (m == 0 || n == 0 || k == 0) return;
-
-  ThreadPool& pool = ThreadPool::shared();
-  const bool parallel = !ThreadPool::in_worker() && pool.num_threads() > 1 &&
-                        m > kMC && m * n * k >= (std::int64_t{1} << 21);
-  const std::int64_t num_ic = (m + kMC - 1) / kMC;
-
+template <bool Vnni>
+void qgemm_impl(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                const QGemmOptions& options) {
+  const std::int64_t kc_max = std::min(k, kKC);
+  std::vector<std::uint8_t>& a_pack = a_pack_buffer();
+  a_pack.resize(packed_a_slice_bytes(m, kc_max));
   std::vector<std::int8_t>& b_pack = b_pack_buffer();
-  b_pack.resize(static_cast<std::size_t>((kKC / 4) * kNC * 4));
+  b_pack.resize(packed_b_slice_bytes(n, kc_max));
+  const std::int64_t n_pad = (n + kNR - 1) / kNR * kNR;
   std::vector<std::int32_t>& colsum = colsum_buffer();
-  colsum.assign(static_cast<std::size_t>(kNC), 0);  // tail lanes stay defined
+  colsum.assign(static_cast<std::size_t>(n_pad), 0);  // tail lanes stay 0
 
-  for (std::int64_t jc = 0; jc < n; jc += kNC) {
-    const std::int64_t nc = std::min(kNC, n - jc);
-    for (std::int64_t pc = 0; pc < k; pc += kKC) {
-      const std::int64_t kc = std::min(kKC, k - pc);
-      pack_b(b, n, pc, jc, kc, nc, b_pack.data(), colsum.data());
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const std::int64_t num_ic = (m + kMC - 1) / kMC;
+  const std::int64_t num_jc = (n + kNC - 1) / kNC;
+  const std::int64_t num_tiles = num_ic * num_jc;
+  const bool parallel = !options.force_serial && pool.num_threads() > 1 &&
+                        num_tiles > 1 && m * n * k >= kParallelMinWork;
 
-      auto ic_block = [&](std::size_t bi) {
-        const std::int64_t ic = static_cast<std::int64_t>(bi) * kMC;
-        const std::int64_t mc = std::min(kMC, m - ic);
-        std::vector<std::uint8_t>& a_pack = a_pack_buffer();
-        a_pack.resize(static_cast<std::size_t>(kMC * (kKC / 4) * 4));
-        pack_a(a, k, ic, pc, mc, kc, a_pack.data());
-        macro_block(mc, nc, kc, a_pack.data(), b_pack.data(), colsum.data(),
-                    c + ic * n + jc, n);
-      };
-      if (parallel) {
-        pool.parallel_for(static_cast<std::size_t>(num_ic), ic_block);
-      } else {
-        for (std::int64_t bi = 0; bi < num_ic; ++bi) {
-          ic_block(static_cast<std::size_t>(bi));
-        }
+  for (std::int64_t pc = 0; pc < k; pc += kKC) {
+    const std::int64_t kc = std::min(kKC, k - pc);
+    const std::int64_t kc4 = quads(kc);
+    pack_a<Vnni>(a, k, 0, pc, m, kc, a_pack.data());
+    pack_b_rows<Vnni>(
+        kc, n, [&](std::int64_t p) { return b + (pc + p) * n; }, b_pack.data(),
+        colsum.data());
+
+    auto tile = [&](std::size_t ti) {
+      const std::int64_t ic = (static_cast<std::int64_t>(ti) / num_jc) * kMC;
+      const std::int64_t jc = (static_cast<std::int64_t>(ti) % num_jc) * kNC;
+      const std::int64_t mc = std::min(kMC, m - ic);
+      const std::int64_t nc = std::min(kNC, n - jc);
+      macro_block<Vnni>(mc, nc, kc, a_pack.data() + (ic / kMR) * kc4 * kMR * 4,
+                        b_pack.data() + (jc / kNR) * kc4 * kNR * 4,
+                        colsum.data() + jc, c + ic * n + jc, n);
+    };
+    if (parallel) {
+      pool.parallel_for(static_cast<std::size_t>(num_tiles), tile);
+    } else {
+      for (std::int64_t ti = 0; ti < num_tiles; ++ti) {
+        tile(static_cast<std::size_t>(ti));
       }
     }
   }
 }
 
-const char* qgemm_kernel_name() {
+}  // namespace
+
+void set_qgemm_kernel(QGemmKernel kernel) {
+  DNNV_CHECK(kernel != QGemmKernel::kVnni || qgemm_vnni_available(),
+             "VNNI qgemm kernel requested but not compiled in");
+  g_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+QGemmKernel qgemm_kernel() {
+  return resolve(g_kernel.load(std::memory_order_relaxed));
+}
+
+bool qgemm_vnni_available() { return DNNV_QGEMM_VNNI != 0; }
+
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+           const std::int8_t* b, std::int32_t* c,
+           const QGemmOptions& options) {
+  DNNV_CHECK(m >= 0 && n >= 0 && k >= 0, "negative qgemm dims");
+  DNNV_CHECK(k <= 65536, "qgemm K " << k << " exceeds the int32 overflow bound");
+  std::fill(c, c + m * n, 0);
+  if (m == 0 || n == 0 || k == 0) return;
 #if DNNV_QGEMM_VNNI
-  return "avx512-vnni";
-#else
-  return "scalar";
+  if (qgemm_kernel() == QGemmKernel::kVnni) {
+    qgemm_impl<true>(m, n, k, a, b, c, options);
+    return;
+  }
 #endif
+  qgemm_impl<false>(m, n, k, a, b, c, options);
+}
+
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+           const std::int8_t* b, std::int32_t* c) {
+  qgemm(m, n, k, a, b, c, QGemmOptions{});
+}
+
+const char* qgemm_kernel_name() {
+  return qgemm_kernel() == QGemmKernel::kVnni ? "avx512-vnni" : "scalar";
+}
+
+std::string qgemm_config_string() {
+  std::ostringstream os;
+  os << "kernel=" << qgemm_kernel_name() << " vnni_available="
+     << (qgemm_vnni_available() ? 1 : 0) << " mr=" << detail::kMR
+     << " nr=" << detail::kNR << " mc=" << detail::kMC << " kc=" << detail::kKC
+     << " nc=" << detail::kNC << " threads=" << ThreadPool::shared().num_threads()
+     << " nesting=work-split";
+  return os.str();
 }
 
 }  // namespace dnnv::quant

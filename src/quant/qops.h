@@ -19,6 +19,17 @@ void im2col_s8(const std::int8_t* image, std::int64_t channels,
                std::int64_t kw, std::int64_t stride, std::int64_t pad,
                std::int8_t* columns);
 
+/// One row of the implicit im2col matrix, columns [col0, col0+count):
+/// the (ky, kx) tap of a single input plane sampled at consecutive output
+/// positions. `plane` points at the channel's HxW data (the caller folds the
+/// channel into the row index). Stride-1 spans are memcpy'd per output row;
+/// padding taps write 0. This is the fused conv path's row generator — it
+/// feeds the GEMM packer directly so the full column matrix never exists.
+void im2col_row_s8(const std::int8_t* plane, std::int64_t height,
+                   std::int64_t width, std::int64_t out_w, std::int64_t stride,
+                   std::int64_t pad, std::int64_t ky, std::int64_t kx,
+                   std::int64_t col0, std::int64_t count, std::int8_t* dst);
+
 /// Max pooling over one CHW int8 image. Order-preserving, so pooling codes
 /// equals pooling values — the scale passes through unchanged.
 void maxpool2d_s8(const std::int8_t* image, std::int64_t channels,

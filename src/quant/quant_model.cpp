@@ -225,6 +225,12 @@ void QuantModel::refresh_derived() {
     if (q.kind != QLayerKind::kConv2d && q.kind != QLayerKind::kDense) continue;
     const std::int64_t channels = weight_channels(q);
     const std::int64_t fanin = weight_fanin(q);
+    if (q.kind == QLayerKind::kConv2d) {
+      // Pre-packed A panels for the fused conv path (re-built here so both
+      // fault injection on the codes and a runtime kernel switch take
+      // effect; the pack is tagged with the kernel layout it was built for).
+      q.wpack = pack_conv_weights(channels, fanin, q.weights.data());
+    }
     if (q.kind == QLayerKind::kDense) {
       q.weights_t.resize(static_cast<std::size_t>(fanin * channels));
       for (std::int64_t c = 0; c < channels; ++c) {
@@ -284,7 +290,7 @@ const Tensor& QuantModel::forward_impl(
   const std::int8_t* cur = nullptr;
   const Tensor* logits = nullptr;
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    const QLayer& q = layers_[li];
+    QLayer& q = layers_[li];  // non-const: fused conv may re-pack weights
     switch (q.kind) {
       case QLayerKind::kQuantize: {
         const std::int64_t count = n * item_numel();
@@ -310,18 +316,47 @@ const Tensor& QuantModel::forward_impl(
         const std::int64_t plane = out_h * out_w;
         const std::int64_t fanin = q.in_channels * q.kernel * q.kernel;
         const std::int64_t in_numel = item_numel();
-        auto& cols = ws.i8_buffer(li, nn::kSlotScratch0,
-                                  static_cast<std::size_t>(fanin * plane));
+        const QConvShape shape{q.in_channels, h,        w, q.out_channels,
+                               q.kernel,      q.stride, q.pad};
+        const bool fused = qconv_path() == QConvPath::kFused;
         auto& acc = ws.i32_buffer(li, nn::kSlotScratch1,
                                   static_cast<std::size_t>(q.out_channels * plane));
         auto& out =
             ws.i8_buffer(li, nn::kSlotOutput,
                          static_cast<std::size_t>(n * q.out_channels * plane));
+        // All scratch is Workspace-arena backed — resized in place, so a
+        // warmed-up forward allocates nothing on either path.
+        QConvScratch scratch;
+        std::int8_t* cols = nullptr;
+        if (fused) {
+          if (!q.wpack.matches(shape)) {
+            // Kernel switched since refresh_derived(): re-pack for the
+            // active panel layout.
+            q.wpack = pack_conv_weights(q.out_channels, fanin,
+                                        q.weights.data());
+          }
+          const QConvScratchSizes sizes = qconv_scratch_sizes(shape);
+          scratch.b_pack =
+              ws.i8_buffer(li, nn::kSlotScratch0, sizes.b_pack).data();
+          scratch.rowbuf =
+              ws.i8_buffer(li, nn::kSlotScratch2, sizes.rowbuf).data();
+          scratch.colsum =
+              ws.i32_buffer(li, nn::kSlotScratch2, sizes.colsum).data();
+        } else {
+          cols = ws.i8_buffer(li, nn::kSlotScratch0,
+                              static_cast<std::size_t>(fanin * plane))
+                     .data();
+        }
         for (std::int64_t item = 0; item < n; ++item) {
-          im2col_s8(cur + item * in_numel, q.in_channels, h, w, q.kernel,
-                    q.kernel, q.stride, q.pad, cols.data());
-          qgemm(q.out_channels, plane, fanin, q.weights.data(), cols.data(),
-                acc.data());
+          if (fused) {
+            qconv2d_fused(shape, q.wpack, cur + item * in_numel, acc.data(),
+                          scratch);
+          } else {
+            im2col_s8(cur + item * in_numel, q.in_channels, h, w, q.kernel,
+                      q.kernel, q.stride, q.pad, cols);
+            qgemm(q.out_channels, plane, fanin, q.weights.data(), cols,
+                  acc.data());
+          }
           std::int8_t* dst = out.data() + item * q.out_channels * plane;
           for (std::int64_t c = 0; c < q.out_channels; ++c) {
             const std::int32_t bias = q.bias_i32[static_cast<std::size_t>(c)];

@@ -18,6 +18,7 @@
 
 #include "nn/activation.h"
 #include "nn/sequential.h"
+#include "quant/qconv.h"
 #include "quant/quantize.h"
 #include "util/bitset.h"
 
@@ -67,6 +68,7 @@ struct QLayer {
 
   // ---- derived, never serialized ----
   std::vector<std::int8_t> weights_t;   ///< dense: [in, out] for qgemm
+  PackedConvWeights wpack;              ///< conv: pre-packed A panels
   std::vector<std::int32_t> bias_i32;   ///< bias on the accumulator grid
   std::vector<Requant> requant;         ///< per out channel
   std::vector<float> dequant_scales;    ///< logit layer: in_scale * wscale[c]

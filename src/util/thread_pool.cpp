@@ -1,12 +1,59 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/error.h"
 
 namespace dnnv {
 namespace {
 thread_local bool tl_in_pool_worker = false;
+thread_local int tl_split_depth = 0;  // active parallel_for levels here
+
+/// Shared state of one parallel_for: a chunk cursor every participant
+/// (caller + helper tasks) claims from. Completion is counted per chunk, so
+/// the caller's wait can be satisfied by any mix of participants — including
+/// the caller alone when the pool is saturated by outer-level work.
+struct SplitState {
+  std::atomic<std::size_t> next{0};
+  std::size_t num_chunks = 0;
+  std::size_t chunk = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t completed = 0;       // guarded by mutex
+  std::exception_ptr first_error;  // guarded by mutex
+};
+
+/// Claims and runs chunks until the cursor is exhausted. `body` is only
+/// dereferenced for successfully claimed chunks, and the caller blocks until
+/// every claimed chunk is counted complete, so the reference outlives all
+/// uses even when helper tasks run after the fast participants finish.
+void run_split_chunks(const std::shared_ptr<SplitState>& st) {
+  ++tl_split_depth;
+  std::size_t finished = 0;
+  std::exception_ptr error;
+  for (;;) {
+    const std::size_t c = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st->num_chunks) break;
+    const std::size_t begin = c * st->chunk;
+    const std::size_t end = std::min(st->count, begin + st->chunk);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*st->body)(i);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+    ++finished;
+  }
+  --tl_split_depth;
+  if (finished == 0 && !error) return;  // late helper: nothing to report
+  std::lock_guard<std::mutex> lock(st->mutex);
+  if (error && !st->first_error) st->first_error = error;
+  st->completed += finished;
+  if (st->completed == st->num_chunks) st->done.notify_all();
+}
 }  // namespace
 
 bool ThreadPool::in_worker() { return tl_in_pool_worker; }
@@ -53,10 +100,10 @@ void ThreadPool::wait_all() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  // Nested call from a worker: the outer parallel level already occupies the
-  // pool, and wait_all() from inside a task would deadlock (this task's own
-  // in-flight count never reaches zero while it blocks). Run inline instead.
-  if (count == 1 || workers_.size() == 1 || in_worker()) {
+  // Inline when splitting cannot help: trivial counts, a one-worker pool, or
+  // two parallel_for levels already active on this thread (the pool is
+  // covered; a third level would only churn the queue).
+  if (count == 1 || workers_.size() == 1 || tl_split_depth >= 2) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -64,20 +111,24 @@ void ThreadPool::parallel_for(std::size_t count,
   // mildly uneven chunks, while dispatching O(threads) std::functions instead
   // of one per index (the per-index scheme is measurable on per-mask
   // workloads with hundreds of thousands of cheap indices).
-  const std::size_t num_chunks = std::min(count, workers_.size() * 4);
-  const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
-  // Chunks go through a TaskGroup so concurrent pool users (e.g. validation
-  // service batches) neither delay this wait nor leak exceptions into it.
-  TaskGroup group(*this);
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    group.run([begin, end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+  auto st = std::make_shared<SplitState>();
+  st->count = count;
+  st->num_chunks = std::min(count, workers_.size() * 4);
+  st->chunk = (count + st->num_chunks - 1) / st->num_chunks;
+  st->num_chunks = (count + st->chunk - 1) / st->chunk;  // drop empty tails
+  st->body = &body;
+  // Helper tasks let idle workers join; the caller participates regardless,
+  // so a saturated pool degrades to inline execution, never to a deadlock.
+  const std::size_t occupied = in_worker() ? 1 : 0;
+  const std::size_t helpers =
+      std::min(st->num_chunks - 1, workers_.size() - occupied);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st] { run_split_chunks(st); });
   }
-  group.wait();
+  run_split_chunks(st);
+  std::unique_lock<std::mutex> lock(st->mutex);
+  st->done.wait(lock, [&] { return st->completed == st->num_chunks; });
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 ThreadPool& ThreadPool::shared() {

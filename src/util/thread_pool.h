@@ -46,18 +46,26 @@ class ThreadPool {
   /// Runs body(i) for i in [0, count) across the pool and waits.
   /// body must be safe to invoke concurrently for distinct i.
   ///
-  /// Work is dispatched as at most num_threads() * 4 contiguous-range chunk
-  /// tasks (static partition), not one std::function per index — per-mask
+  /// Work is split into at most num_threads() * 4 contiguous-range chunks
+  /// (static partition), not one std::function per index — per-mask
   /// workloads with ~1e5 cheap indices measure the difference. Determinism:
   /// each index runs exactly once, so index-seeded work is schedule-invariant.
   ///
-  /// Nested use is safe: when called from inside a pool worker (e.g. a
-  /// parallel GEMM under a parallel coverage sweep) the body runs inline on
-  /// the calling thread instead of deadlocking on wait_all().
+  /// Nested use is safe AND parallel (bounded work-splitting): the caller
+  /// claims chunks from a shared atomic cursor itself while idle workers
+  /// help through queued helper tasks, so a GEMM tiled from inside a pool
+  /// worker (a validation-service lane, an outer parallel_for chunk) still
+  /// spreads across free threads instead of falling back to serial. The
+  /// wait condition is "all chunks executed", which the caller can satisfy
+  /// alone — helpers that arrive late find no work and return, so no
+  /// combination of nesting and pool saturation can deadlock. Splitting is
+  /// depth-bounded: at two active parallel_for levels on a thread, deeper
+  /// calls run inline (two levels already cover the pool).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
-  /// True when the calling thread is a worker of any ThreadPool. Used to
-  /// keep nested parallelism serial (the outer level already owns the cores).
+  /// True when the calling thread is a worker of any ThreadPool. Callers can
+  /// use it to pick batch shapes; parallel_for itself no longer serializes
+  /// on it (see above).
   static bool in_worker();
 
   /// Process-wide shared pool (created on first use, hardware concurrency).

@@ -15,12 +15,15 @@
 #include "nn/builder.h"
 #include "nn/trainer.h"
 #include "quant/observer.h"
+#include "quant/qconv.h"
 #include "quant/qgemm.h"
+#include "quant/qops.h"
 #include "quant/quant_model.h"
 #include "quant/quantize.h"
 #include "tensor/batch.h"
 #include "util/error.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 #include "validate/detection.h"
 
 namespace dnnv::quant {
@@ -154,6 +157,204 @@ TEST(QgemmTest, RejectsOversizedK) {
   std::vector<std::int8_t> a(1), b(1);
   std::vector<std::int32_t> c(1);
   EXPECT_THROW(qgemm(1, 1, 70000, a.data(), b.data(), c.data()), Error);
+}
+
+std::vector<QGemmKernel> compiled_kernels() {
+  std::vector<QGemmKernel> kernels = {QGemmKernel::kScalar};
+  if (qgemm_vnni_available()) kernels.push_back(QGemmKernel::kVnni);
+  return kernels;
+}
+
+/// Restores the process-wide kernel/path selectors on scope exit so a
+/// failing EXPECT cannot leak a forced kernel into later tests.
+struct EngineStateGuard {
+  ~EngineStateGuard() {
+    set_qgemm_kernel(QGemmKernel::kAuto);
+    set_qconv_path(QConvPath::kFused);
+  }
+};
+
+TEST(QgemmTest, TiledParallelMatchesSerialAcrossPoolWidths) {
+  EngineStateGuard guard;
+  Rng rng(17);
+  // Big enough to clear the ~1M-MAC parallel gate with several macro tiles.
+  const std::int64_t m = 130, n = 600, k = 80;
+  const auto a = random_codes(m * k, rng);
+  const auto b = random_codes(k * n, rng);
+  std::vector<std::int32_t> serial(static_cast<std::size_t>(m * n));
+  std::vector<std::int32_t> tiled(static_cast<std::size_t>(m * n));
+  for (const QGemmKernel kernel : compiled_kernels()) {
+    set_qgemm_kernel(kernel);
+    QGemmOptions serial_opts;
+    serial_opts.force_serial = true;
+    qgemm(m, n, k, a.data(), b.data(), serial.data(), serial_opts);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{16}}) {
+      ThreadPool pool(threads);
+      QGemmOptions opts;
+      opts.pool = &pool;
+      std::fill(tiled.begin(), tiled.end(), -1);
+      qgemm(m, n, k, a.data(), b.data(), tiled.data(), opts);
+      EXPECT_EQ(serial, tiled)
+          << qgemm_kernel_name() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(QgemmTest, TiledParallelNestedInsideParallelForStaysExact) {
+  EngineStateGuard guard;
+  Rng rng(23);
+  const std::int64_t m = 96, n = 512, k = 64;
+  const auto a = random_codes(m * k, rng);
+  const auto b = random_codes(k * n, rng);
+  std::vector<std::int32_t> serial(static_cast<std::size_t>(m * n));
+  QGemmOptions serial_opts;
+  serial_opts.force_serial = true;
+  qgemm(m, n, k, a.data(), b.data(), serial.data(), serial_opts);
+
+  // The ValidationService shape: lanes run inside pool workers, and each
+  // lane's GEMM tiles split across the same pool. Every lane must still
+  // produce the bit-exact serial result.
+  ThreadPool pool(4);
+  constexpr std::size_t kLanes = 8;
+  std::vector<std::vector<std::int32_t>> lane_out(
+      kLanes, std::vector<std::int32_t>(static_cast<std::size_t>(m * n), -1));
+  pool.parallel_for(kLanes, [&](std::size_t lane) {
+    QGemmOptions opts;
+    opts.pool = &pool;
+    qgemm(m, n, k, a.data(), b.data(), lane_out[lane].data(), opts);
+  });
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(serial, lane_out[lane]) << "lane " << lane;
+  }
+}
+
+// ---------- Fused int8 convolution ----------
+
+/// Direct-convolution ground truth: exact int32 accumulation straight from
+/// the definition, no im2col, no GEMM.
+void naive_qconv(const QConvShape& s, const std::int8_t* weights,
+                 const std::int8_t* image, std::int32_t* acc) {
+  const std::int64_t out_h = s.out_h(), out_w = s.out_w();
+  for (std::int64_t oc = 0; oc < s.out_channels; ++oc) {
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        std::int32_t sum = 0;
+        for (std::int64_t c = 0; c < s.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < s.kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < s.kernel; ++kx) {
+              const std::int64_t iy = oy * s.stride - s.pad + ky;
+              const std::int64_t ix = ox * s.stride - s.pad + kx;
+              if (iy < 0 || iy >= s.height || ix < 0 || ix >= s.width) continue;
+              const std::int64_t wi =
+                  oc * s.fanin() + (c * s.kernel + ky) * s.kernel + kx;
+              sum += static_cast<std::int32_t>(weights[wi]) *
+                     static_cast<std::int32_t>(
+                         image[(c * s.height + iy) * s.width + ix]);
+            }
+          }
+        }
+        acc[(oc * out_h + oy) * out_w + ox] = sum;
+      }
+    }
+  }
+}
+
+TEST(QConvFusedTest, BitIdenticalToTwoPassAndNaiveAcrossShapesAndKernels) {
+  EngineStateGuard guard;
+  // Odd planes, stride > 1, asymmetric H/W, padless and padded, 1x1 — the
+  // fused packer's fast and general row paths all get hit.
+  const QConvShape shapes[] = {
+      {1, 7, 9, 3, 3, 1, 1},    // odd "same"-pad plane (contiguous fast path)
+      {2, 11, 5, 4, 3, 2, 1},   // stride 2
+      {3, 9, 9, 5, 5, 1, 2},    // 5x5 same pad
+      {2, 9, 7, 4, 3, 1, 0},    // no pad (out_w != width: general path)
+      {4, 6, 10, 8, 2, 2, 0},   // even kernel, stride 2
+      {1, 1, 1, 1, 1, 1, 0},    // degenerate 1x1
+      {3, 13, 13, 33, 3, 1, 1}, // out_channels past one kMR panel span
+  };
+  Rng rng(29);
+  for (const QConvShape& s : shapes) {
+    const std::int64_t m = s.out_channels, n = s.plane(), k = s.fanin();
+    const auto weights = random_codes(m * k, rng);
+    const auto image = random_codes(s.in_channels * s.height * s.width, rng);
+    std::vector<std::int32_t> expected(static_cast<std::size_t>(m * n));
+    naive_qconv(s, weights.data(), image.data(), expected.data());
+
+    std::vector<std::int8_t> cols(static_cast<std::size_t>(k * n));
+    std::vector<std::int32_t> two_pass(static_cast<std::size_t>(m * n));
+    std::vector<std::int32_t> fused(static_cast<std::size_t>(m * n), -1);
+    for (const QGemmKernel kernel : compiled_kernels()) {
+      set_qgemm_kernel(kernel);
+      im2col_s8(image.data(), s.in_channels, s.height, s.width, s.kernel,
+                s.kernel, s.stride, s.pad, cols.data());
+      qgemm(m, n, k, weights.data(), cols.data(), two_pass.data());
+
+      const PackedConvWeights packed =
+          pack_conv_weights(m, k, weights.data());
+      const QConvScratchSizes sizes = qconv_scratch_sizes(s);
+      std::vector<std::int8_t> b_pack(sizes.b_pack);
+      std::vector<std::int32_t> colsum(sizes.colsum);
+      std::vector<std::int8_t> rowbuf(sizes.rowbuf);
+      qconv2d_fused(s, packed, image.data(), fused.data(),
+                    {b_pack.data(), colsum.data(), rowbuf.data()});
+
+      EXPECT_EQ(expected, two_pass)
+          << qgemm_kernel_name() << " two-pass vs naive";
+      EXPECT_EQ(expected, fused) << qgemm_kernel_name() << " fused vs naive";
+    }
+  }
+}
+
+TEST(QConvFusedTest, RejectsMismatchedWeightPack) {
+  EngineStateGuard guard;
+  if (!qgemm_vnni_available()) GTEST_SKIP() << "single compiled kernel";
+  const QConvShape s{1, 4, 4, 2, 3, 1, 1};
+  Rng rng(31);
+  const auto weights = random_codes(s.out_channels * s.fanin(), rng);
+  set_qgemm_kernel(QGemmKernel::kScalar);
+  const PackedConvWeights packed =
+      pack_conv_weights(s.out_channels, s.fanin(), weights.data());
+  set_qgemm_kernel(QGemmKernel::kVnni);  // pack is now stale
+  const auto image = random_codes(s.in_channels * s.height * s.width, rng);
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(s.out_channels * s.plane()));
+  const QConvScratchSizes sizes = qconv_scratch_sizes(s);
+  std::vector<std::int8_t> b_pack(sizes.b_pack);
+  std::vector<std::int32_t> colsum(sizes.colsum);
+  std::vector<std::int8_t> rowbuf(sizes.rowbuf);
+  EXPECT_THROW(qconv2d_fused(s, packed, image.data(), acc.data(),
+                             {b_pack.data(), colsum.data(), rowbuf.data()}),
+               Error);
+}
+
+TEST(QConvFusedTest, QuantModelForwardIdenticalAcrossPathsOnZooModels) {
+  EngineStateGuard guard;
+  // End-to-end: the deployed QuantModel must produce bit-identical logits on
+  // both zoo convnets whichever conv path executes, for batch 1 and > 1.
+  exp::ZooOptions options;
+  options.tiny = true;
+  exp::TrainedModel cases[] = {exp::mnist_tanh(options),
+                               exp::cifar_relu(options)};
+  std::vector<Tensor> pools[] = {exp::digits_train(12).images,
+                                 exp::shapes_train(12).images};
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    QuantModel qm = QuantModel::quantize(cases[ci].model, pools[ci]);
+    for (const std::int64_t batch_size : {std::int64_t{1}, std::int64_t{7}}) {
+      std::vector<Tensor> items(pools[ci].begin(),
+                                pools[ci].begin() + batch_size);
+      const Tensor batch = stack_batch(items);
+      set_qconv_path(QConvPath::kFused);
+      const Tensor fused = qm.forward(batch);
+      set_qconv_path(QConvPath::kTwoPass);
+      const Tensor two_pass = qm.forward(batch);
+      ASSERT_EQ(fused.numel(), two_pass.numel());
+      for (std::int64_t i = 0; i < fused.numel(); ++i) {
+        EXPECT_EQ(fused[i], two_pass[i])
+            << cases[ci].name << " batch " << batch_size << " logit " << i;
+      }
+    }
+  }
 }
 
 // ---------- Observers ----------

@@ -449,17 +449,64 @@ TEST(ThreadPoolTest, ThrowingParallelForBodyRethrowsAndPoolStaysUsable) {
   for (const int h : hits) EXPECT_EQ(h, 1);
 }
 
-TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+TEST(ThreadPoolTest, NestedParallelForRunsWithoutDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> total{0};
-  // Outer level uses the pool; the inner call happens on a worker thread and
-  // must fall back to inline execution instead of waiting on itself.
+  // The caller participates in the split, so outer bodies may run on the
+  // calling thread OR a worker; a nested call issued from either must still
+  // cover every index without waiting on the pool it runs inside.
   pool.parallel_for(4, [&](std::size_t) {
-    EXPECT_TRUE(ThreadPool::in_worker());
     pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
   });
   EXPECT_EQ(total, 32);
   EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 97;  // does not divide the chunk grid evenly
+  std::vector<std::vector<std::atomic<int>>> hits(kOuter);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(kInner);
+    for (auto& h : row) h = 0;
+  }
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    pool.parallel_for(kInner,
+                      [&](std::size_t i) { hits[o][i].fetch_add(1); });
+  });
+  for (const auto& row : hits) {
+    for (const auto& h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForFallsBackInline) {
+  ThreadPool pool(3);
+  // Depth >= 2 runs inline (bounded splitting): three levels must neither
+  // deadlock nor lose indices.
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(3, [&](std::size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total, 27);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t o) {
+                          pool.parallel_for(8, [&](std::size_t i) {
+                            if (o == 2 && i == 5) throw Error("inner boom");
+                          });
+                        }),
+      Error);
+  // The pool stays usable afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total, 16);
 }
 
 TEST(ThreadPoolTest, ChunkedDispatchCoversLargeSparseCounts) {
