@@ -10,9 +10,15 @@
 //
 //   ./build/bench_coverage_criteria [--tests 30] [--pool 150] [--trials 200]
 //                                   [--quick] [--paper-scale] [--retrain]
+//                                   [--json [path|family]] [--baseline path]
+//                                   [--max-regress pct]
 //
 // --quick shrinks everything to a CI-smoke footprint (tiny zoo models).
+// --json writes the BENCH_coverage_criteria.json snapshot; --baseline
+// regression-gates coverage/detection/generation-time against a committed
+// one (per-host family members preferred, see bench/bench_json.h).
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +26,7 @@
 #include "attack/random_perturbation.h"
 #include "attack/sba.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "coverage/criterion.h"
 #include "testgen/generator.h"
 #include "util/stopwatch.h"
@@ -44,8 +51,9 @@ struct CriterionRow {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"tests", "pool", "trials", "quick",
-                                  "paper-scale", "retrain"});
+  const CliArgs args(argc, argv,
+                     {"tests", "pool", "trials", "quick", "paper-scale",
+                      "retrain", "json", "baseline", "max-regress"});
   const bool quick = args.get_bool("quick", false);
   const int tests = args.get_int("tests", quick ? 10 : 30);
   const auto pool_size =
@@ -58,6 +66,7 @@ int main(int argc, char** argv) {
   auto zoo = bench::zoo_options(args);
   zoo.tiny = quick;
 
+  std::vector<bench::BenchMetric> metrics;
   for (const bool use_cifar : {false, true}) {
     auto trained = use_cifar ? exp::cifar_relu(zoo) : exp::mnist_tanh(zoo);
     const auto pool =
@@ -124,6 +133,17 @@ int main(int argc, char** argv) {
                 << " points (" << format_double(row.generate_seconds, 2)
                 << "s)\n";
       rows.push_back(row);
+
+      // Coverage and detection are deterministic under the fixed seed, so
+      // they gate tightly; generation time is the only noisy series.
+      const std::string prefix = trained.name + "_" + name;
+      metrics.push_back({prefix + "_coverage", row.coverage, "frac", true});
+      metrics.push_back({prefix + "_sba_det", row.detection[0], "frac", true});
+      metrics.push_back({prefix + "_gda_det", row.detection[1], "frac", true});
+      metrics.push_back(
+          {prefix + "_rand_det", row.detection[2], "frac", true});
+      metrics.push_back(
+          {prefix + "_generate_s", row.generate_seconds, "s", false});
     }
 
     std::cout << "\n";
@@ -143,5 +163,30 @@ int main(int argc, char** argv) {
                "the coverage signal differs. The parameter criterion is the "
                "paper's proposal; neuron/ksection/boundary/topk are the "
                "structural baselines.\n";
+
+  if (args.has("json")) {
+    const std::string path = bench::resolve_json_out(
+        "coverage_criteria", args.get_string("json", ""));
+    std::map<std::string, std::string> config;
+    config["quick"] = quick ? "1" : "0";
+    config["tests"] = std::to_string(tests);
+    config["pool"] = std::to_string(pool_size);
+    config["trials"] = std::to_string(trials);
+    bench::write_bench_json(path, "coverage_criteria", config, metrics);
+  }
+  if (args.has("baseline")) {
+    const std::string baseline = bench::resolve_baseline_arg(
+        "coverage_criteria", args.get_string("baseline", ""));
+    const double max_regress = args.get_double("max-regress", 10.0);
+    std::cout << "\ndiff vs " << baseline << " (max regression " << max_regress
+              << "%):\n";
+    const int regressions =
+        bench::diff_against_baseline(metrics, baseline, max_regress);
+    if (regressions > 0) {
+      std::cerr << regressions << " metric(s) regressed beyond " << max_regress
+                << "%\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,9 +8,18 @@
 //
 // All methods run through the generator registry against one shared pool
 // mask pass (testgen::make_generator + GenContext.masks).
+//
+//   ./build/bench_fig3_methods [--pool 400] [--budget 60] [--model both]
+//                              [--quick] [--json [path|family]]
+//                              [--baseline path] [--max-regress pct]
+//
+// --quick shrinks to a CI-smoke footprint; --json/--baseline emit and gate
+// the coverage-at-checkpoint series (deterministic under the fixed seed).
 #include <iostream>
+#include <map>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "coverage/parameter_coverage.h"
 #include "testgen/generator.h"
 #include "util/stopwatch.h"
@@ -41,8 +50,19 @@ constexpr MethodRow kMethods[] = {
     {"random", nullptr, "Random control"},
 };
 
+/// Numeric coverage after `n` tests, for the metric series.
+double coverage_at(const testgen::GenerationResult& result, int n) {
+  if (result.coverage_after.empty()) return 0.0;
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(n),
+                            result.coverage_after.size()) -
+      1;
+  return result.coverage_after[idx];
+}
+
 int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
-                  const exp::ZooOptions& options) {
+                  const exp::ZooOptions& options,
+                  std::vector<bench::BenchMetric>& metrics) {
   auto trained = which == "mnist" ? exp::mnist_tanh(options)
                                   : exp::cifar_relu(options);
   const auto pool = which == "mnist" ? exp::digits_train(pool_size)
@@ -96,8 +116,15 @@ int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
     std::vector<std::string> cells = {std::to_string(n)};
     for (const auto& result : results) cells.push_back(at(result, n));
     table.add_row(std::move(cells));
+    for (std::size_t m = 0; m < std::size(kMethods); ++m) {
+      metrics.push_back({which + "_" + kMethods[m].method + "_cov_at_" +
+                             std::to_string(n),
+                         coverage_at(results[m], n), "frac", true});
+    }
   }
   table.print(std::cout);
+  metrics.push_back({which + "_pool_ceiling", ceiling.coverage(), "frac",
+                     true});
 
   std::cout << "\nwhole-pool ceiling (" << pool_size
             << " samples): " << format_percent(ceiling.coverage())
@@ -133,16 +160,50 @@ int run_for_model(const std::string& which, std::int64_t pool_size, int budget,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
-                     {"pool", "budget", "model", "paper-scale", "retrain"});
-  const auto pool_size = static_cast<std::int64_t>(args.get_int("pool", 400));
-  const int budget = args.get_int("budget", 60);
+                     {"pool", "budget", "model", "paper-scale", "retrain",
+                      "quick", "json", "baseline", "max-regress"});
+  const bool quick = args.get_bool("quick", false);
+  const auto pool_size =
+      static_cast<std::int64_t>(args.get_int("pool", quick ? 60 : 400));
+  const int budget = args.get_int("budget", quick ? 20 : 60);
   const std::string which = args.get_string("model", "both");
   bench::banner("bench_fig3_methods",
                 "Fig 3 — coverage vs #tests: selection / gradient / combined");
-  const auto options = bench::zoo_options(args);
+  auto options = bench::zoo_options(args);
+  if (quick) options.tiny = true;
+
+  std::vector<bench::BenchMetric> metrics;
+  int rc = 0;
   if (which == "both") {
-    run_for_model("cifar", pool_size, budget, options);
-    return run_for_model("mnist", pool_size, budget, options);
+    rc |= run_for_model("cifar", pool_size, budget, options, metrics);
+    rc |= run_for_model("mnist", pool_size, budget, options, metrics);
+  } else {
+    rc = run_for_model(which, pool_size, budget, options, metrics);
   }
-  return run_for_model(which, pool_size, budget, options);
+
+  if (args.has("json")) {
+    const std::string path =
+        bench::resolve_json_out("fig3_methods", args.get_string("json", ""));
+    std::map<std::string, std::string> config;
+    config["quick"] = quick ? "1" : "0";
+    config["pool"] = std::to_string(pool_size);
+    config["budget"] = std::to_string(budget);
+    config["model"] = which;
+    bench::write_bench_json(path, "fig3_methods", config, metrics);
+  }
+  if (args.has("baseline")) {
+    const std::string baseline = bench::resolve_baseline_arg(
+        "fig3_methods", args.get_string("baseline", ""));
+    const double max_regress = args.get_double("max-regress", 10.0);
+    std::cout << "\ndiff vs " << baseline << " (max regression " << max_regress
+              << "%):\n";
+    const int regressions =
+        bench::diff_against_baseline(metrics, baseline, max_regress);
+    if (regressions > 0) {
+      std::cerr << regressions << " metric(s) regressed beyond " << max_regress
+                << "%\n";
+      return 1;
+    }
+  }
+  return rc;
 }

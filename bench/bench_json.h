@@ -16,6 +16,12 @@
 //
 // load_bench_metrics() parses exactly what write_bench_json() writes (one
 // metric object per line) — it is a baseline reader, not a JSON library.
+//
+// Baselines come in per-host FAMILIES: next to a generic BENCH_x.json the
+// repo may commit BENCH_x.<kernel>-t<threads>.json members, and
+// diff_against_baseline() picks the member matching this host's
+// hardware_fingerprint() (hard gate) before falling back to the generic
+// snapshot (informational unless the hardware stanza happens to match).
 #ifndef DNNV_BENCH_BENCH_JSON_H_
 #define DNNV_BENCH_BENCH_JSON_H_
 
@@ -39,6 +45,59 @@ struct BenchMetric {
   std::string unit;
   bool higher_is_better = true;
 };
+
+/// This host's baseline-family key: qgemm kernel + pool width, the two
+/// hardware facts the regression gate conditions on (e.g. "scalar-t1",
+/// "avx512vnni-t16").
+inline std::string hardware_fingerprint() {
+  return std::string(quant::qgemm_kernel_name()) + "-t" +
+         std::to_string(ThreadPool::shared().num_threads());
+}
+
+/// The per-host family member of a baseline path:
+/// BENCH_x.json → BENCH_x.<fingerprint>.json.
+inline std::string family_member_path(const std::string& path) {
+  const std::string suffix = ".json";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return path.substr(0, path.size() - suffix.size()) + "." +
+           hardware_fingerprint() + ".json";
+  }
+  return path + "." + hardware_fingerprint();
+}
+
+/// Family-aware baseline resolution: a committed
+/// BENCH_x.<fingerprint>.json matching this host wins over the generic
+/// BENCH_x.json, so one repo can carry one hard-gated baseline per CI
+/// runner shape instead of a single snapshot that only gates on the
+/// machine that recorded it.
+inline std::string resolve_baseline_path(const std::string& path) {
+  const std::string member = family_member_path(path);
+  if (std::ifstream(member).good()) return member;
+  return path;
+}
+
+/// Resolves a --json argument: empty/"true" names the conventional
+/// BENCH_<bench>.json, the literal "family" names this host's family
+/// member BENCH_<bench>.<fingerprint>.json (how per-host baselines are
+/// recorded), anything else is a verbatim path.
+inline std::string resolve_json_out(const std::string& bench,
+                                    const std::string& value) {
+  const std::string generic = "BENCH_" + bench + ".json";
+  if (value.empty() || value == "true") return generic;
+  if (value == "family") return family_member_path(generic);
+  return value;
+}
+
+/// Resolves a --baseline argument the same way: a bare flag (empty or the
+/// literal "true") means the conventional committed BENCH_<bench>.json,
+/// anything else is a verbatim path. Family members are resolved later, at
+/// diff time (resolve_baseline_path).
+inline std::string resolve_baseline_arg(const std::string& bench,
+                                        const std::string& value) {
+  if (value.empty() || value == "true") return "BENCH_" + bench + ".json";
+  return value;
+}
 
 struct BenchBaseline {
   std::string kernel;        ///< hardware stanza of the baseline run
@@ -125,8 +184,13 @@ inline BenchBaseline load_bench_metrics(const std::string& path) {
 /// and pool width) — on foreign hardware the diff is reported as
 /// informational so CI runners of a different shape cannot flap the gate.
 inline int diff_against_baseline(const std::vector<BenchMetric>& current,
-                                 const std::string& path,
+                                 const std::string& path_in,
                                  double max_regress_pct) {
+  const std::string path = resolve_baseline_path(path_in);
+  if (path != path_in) {
+    std::cout << "baseline family: using " << path << " (fingerprint "
+              << hardware_fingerprint() << ")\n";
+  }
   const BenchBaseline baseline = load_bench_metrics(path);
   const bool hardware_match =
       baseline.kernel == quant::qgemm_kernel_name() &&

@@ -286,8 +286,8 @@ int main(int argc, char** argv) {
   }
 
   if (args.has("json")) {
-    std::string path = args.get_string("json", "");
-    if (path.empty() || path == "true") path = "BENCH_quant_gemm.json";
+    const std::string path =
+        bench::resolve_json_out("quant_gemm", args.get_string("json", ""));
     std::map<std::string, std::string> config;
     config["quick"] = quick ? "1" : "0";
     config["gemm_reps"] = std::to_string(gemm_reps);

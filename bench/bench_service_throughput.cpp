@@ -202,8 +202,8 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("json")) {
-      std::string path = args.get_string("json", "");
-      if (path.empty() || path == "true") path = "BENCH_service_throughput.json";
+      const std::string path = bench::resolve_json_out(
+          "service_throughput", args.get_string("json", ""));
       std::map<std::string, std::string> config;
       config["quick"] = quick ? "1" : "0";
       config["sessions"] = std::to_string(num_sessions);

@@ -23,10 +23,28 @@
 //   dnnv_pipeline --serve --in deliverable.bin [--sessions 16]
 //                 [--backend auto|float|int8] [--stream] [--key 12345]
 //
+// TCP server mode (--serve-tcp): bind the net::ValidationServer and serve
+// the wire protocol until SIGINT/SIGTERM (then drain in-flight verdicts and
+// exit 0). --preload pins a deliverable server-side as id 1:
+//
+//   dnnv_pipeline --serve-tcp [--host 127.0.0.1] [--port 7433]
+//                 [--max-connections 16] [--idle-timeout 30]
+//                 [--preload deliverable.bin] [--key 12345]
+//
+// TCP client mode (--validate-tcp): connect to a running server, load +
+// open + validate one deliverable by its server-side path, print the
+// verdict; exit 0 = SECURE, 2 = TAMPERED:
+//
+//   dnnv_pipeline --validate-tcp --in deliverable.bin [--host 127.0.0.1]
+//                 [--port 7433] [--backend auto|float|int8] [--stream]
+//                 [--key 12345]
+//
 // --list prints the registered generation methods, --list-coverage the
 // registered coverage criteria; both exit.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -34,6 +52,8 @@
 
 #include "bench/bench_common.h"
 #include "exp/model_zoo.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "pipeline/service.h"
 #include "pipeline/user.h"
 #include "pipeline/vendor.h"
@@ -192,6 +212,103 @@ int run_serve(const CliArgs& args) {
   return tampered == 0 ? 0 : 2;
 }
 
+// Set by the signal handler; the serve-tcp loop polls it. sig_atomic_t is
+// the only type a handler may touch portably.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int run_serve_tcp(const CliArgs& args) {
+  net::ServerConfig config;
+  config.host = args.get_string("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_int("port", 7433));
+  config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 16));
+  config.idle_timeout_seconds = args.get_double("idle-timeout", 0.0);
+
+  net::ValidationServer server(config);
+  if (args.has("preload")) {
+    const std::string path = args.get_string("preload", "deliverable.bin");
+    const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
+    const auto id = server.preload(path, key);
+    std::cout << "preloaded " << path << " as deliverable id " << id << "\n";
+  }
+  std::cout << "serving on " << config.host << ":" << server.port() << " ("
+            << config.max_connections << " connection slots";
+  if (config.idle_timeout_seconds > 0) {
+    std::cout << ", idle timeout " << config.idle_timeout_seconds << "s";
+  }
+  std::cout << ")\nengine: " << quant::qgemm_config_string()
+            << " conv=" << quant::qconv_path_name() << "\n"
+            << "Ctrl-C to drain and stop\n";
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "\nshutting down: draining in-flight verdicts...\n";
+  server.stop();
+  const auto stats = server.stats();
+  std::cout << "served " << stats.accepted << " connections ("
+            << stats.rejected_busy << " busy-rejected, " << stats.evicted_idle
+            << " idle-evicted), " << stats.requests << " frames, "
+            << stats.submits << " submits\n";
+  return 0;
+}
+
+int run_validate_tcp(const CliArgs& args) {
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 7433));
+  const std::string in = args.get_string("in", "deliverable.bin");
+  const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
+  const bool stream_verdicts = args.get_bool("stream", false);
+
+  auto client = net::ValidationClient::connect(host, port);
+  const auto loaded = client.load(in, key);
+  std::cout << "server loaded " << in << " as id " << loaded.deliverable_id
+            << " (" << loaded.summary << ")\n";
+
+  pipeline::SessionConfig config;
+  config.backend =
+      pipeline::backend_kind_from_string(args.get_string("backend", "auto"));
+  const auto opened = client.open(loaded.deliverable_id, config);
+  const auto backend_kind = static_cast<pipeline::BackendKind>(opened.backend);
+  std::cout << "session " << opened.session_id << " open ("
+            << opened.suite_size << " tests, backend "
+            << (backend_kind == pipeline::BackendKind::kInt8 ? "int8" : "float")
+            << ")\n";
+
+  validate::Verdict verdict;
+  if (stream_verdicts) {
+    const auto submit_id = client.submit(opened.session_id, /*stream=*/true);
+    net::ValidationClient::Event event;
+    while (client.next_event(event)) {
+      if (event.kind == net::ValidationClient::Event::Kind::kChunk) {
+        std::cout << "  chunk [" << event.chunk.begin << ", "
+                  << event.chunk.end << "): " << event.chunk.mismatches
+                  << " mismatches\n";
+        continue;
+      }
+      if (event.kind == net::ValidationClient::Event::Kind::kVerdict &&
+          event.submit_id == submit_id) {
+        verdict = event.verdict;
+        break;
+      }
+      if (event.kind == net::ValidationClient::Event::Kind::kError) {
+        throw net::NetError(event.error, event.message);
+      }
+    }
+  } else {
+    verdict = client.validate(opened.session_id);
+  }
+  client.close_session(opened.session_id);
+  client.goodbye();
+  std::cout << "replayed " << verdict.tests_run << " tests: "
+            << (verdict.passed ? "SECURE" : "TAMPERED") << "\n";
+  return verdict.passed ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,7 +317,8 @@ int main(int argc, char** argv) {
                        {"method", "backend", "coverage", "sections", "topk",
                         "tests", "out", "in", "model", "tiny", "pool", "key",
                         "steps", "list", "list-coverage", "serve", "sessions",
-                        "stream"});
+                        "stream", "serve-tcp", "validate-tcp", "host", "port",
+                        "max-connections", "idle-timeout", "preload"});
     if (args.get_bool("list", false)) {
       std::cout << "registered generation methods:\n";
       for (const auto& name : testgen::generator_names()) {
@@ -215,6 +333,8 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (args.get_bool("serve-tcp", false)) return run_serve_tcp(args);
+    if (args.get_bool("validate-tcp", false)) return run_validate_tcp(args);
     if (args.get_bool("serve", false)) return run_serve(args);
     return args.has("in") ? run_user(args) : run_vendor(args);
   } catch (const dnnv::Error& error) {

@@ -1,0 +1,202 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace dnnv::net {
+
+ValidationClient ValidationClient::connect(const std::string& host,
+                                           std::uint16_t port) {
+  return ValidationClient(Socket::connect(host, port));
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous requests
+// ---------------------------------------------------------------------------
+
+Frame ValidationClient::read_sync_response(MsgType expect) {
+  Frame frame;
+  for (;;) {
+    if (!read_frame(socket_, frame)) {
+      throw NetError(WireError::kInternal,
+                     "connection closed while awaiting a response");
+    }
+    if (frame.type == expect) return frame;
+    switch (frame.type) {
+      case MsgType::kError: {
+        ByteReader r = frame.reader();
+        const ErrorMsg msg = ErrorMsg::decode(r);
+        if (msg.ref == 0) throw NetError(msg.code, msg.message);
+        buffered_.push_back(translate(frame));  // a pipelined submit failed
+        break;
+      }
+      case MsgType::kChunk:
+      case MsgType::kVerdict:
+        buffered_.push_back(translate(frame));
+        break;
+      case MsgType::kBye: {
+        ByteReader r = frame.reader();
+        const ByeMsg msg = ByeMsg::decode(r);
+        saw_bye_ = true;
+        throw NetError(WireError::kInternal,
+                       std::string("server closed the connection (") +
+                           to_string(msg.reason) + ")");
+      }
+      default:
+        throw NetError(WireError::kInternal, "unexpected frame from server");
+    }
+  }
+}
+
+LoadResponse ValidationClient::load(const std::string& path,
+                                    std::uint64_t key) {
+  LoadRequest req;
+  req.path = path;
+  req.key = key;
+  write_message(socket_, MsgType::kLoad, req);
+  Frame frame = read_sync_response(MsgType::kLoadOk);
+  ByteReader r = frame.reader();
+  return LoadResponse::decode(r);
+}
+
+OpenResponse ValidationClient::open(std::uint32_t deliverable_id,
+                                    const pipeline::SessionConfig& config) {
+  OpenRequest req;
+  req.deliverable_id = deliverable_id;
+  req.config = config;
+  write_message(socket_, MsgType::kOpen, req);
+  Frame frame = read_sync_response(MsgType::kOpenOk);
+  ByteReader r = frame.reader();
+  return OpenResponse::decode(r);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined submits
+// ---------------------------------------------------------------------------
+
+std::uint32_t ValidationClient::submit(std::uint32_t session_id, bool stream,
+                                       std::uint64_t begin,
+                                       std::uint64_t end) {
+  SubmitRequest req;
+  req.session_id = session_id;
+  req.submit_id = next_submit_id_++;
+  req.begin = begin;
+  req.end = end;
+  req.stream = stream ? 1 : 0;
+  write_message(socket_, MsgType::kSubmit, req);
+  return req.submit_id;
+}
+
+ValidationClient::Event ValidationClient::translate(const Frame& frame) {
+  Event event;
+  ByteReader r = frame.reader();
+  switch (frame.type) {
+    case MsgType::kChunk: {
+      const ChunkMsg msg = ChunkMsg::decode(r);
+      event.kind = Event::Kind::kChunk;
+      event.submit_id = msg.submit_id;
+      event.chunk = msg.chunk;
+      break;
+    }
+    case MsgType::kVerdict: {
+      const VerdictMsg msg = VerdictMsg::decode(r);
+      event.kind = Event::Kind::kVerdict;
+      event.submit_id = msg.submit_id;
+      event.verdict = msg.verdict;
+      break;
+    }
+    case MsgType::kError: {
+      const ErrorMsg msg = ErrorMsg::decode(r);
+      event.kind = Event::Kind::kError;
+      event.submit_id = msg.ref;
+      event.error = msg.code;
+      event.message = msg.message;
+      break;
+    }
+    case MsgType::kBye: {
+      const ByeMsg msg = ByeMsg::decode(r);
+      event.kind = Event::Kind::kBye;
+      event.bye_reason = msg.reason;
+      break;
+    }
+    default:
+      throw NetError(WireError::kInternal, "unexpected frame from server");
+  }
+  return event;
+}
+
+bool ValidationClient::pop_or_read(Event& event) {
+  if (!buffered_.empty()) {
+    event = std::move(buffered_.front());
+    buffered_.pop_front();
+    return true;
+  }
+  if (saw_bye_) return false;
+  Frame frame;
+  if (!read_frame(socket_, frame)) return false;
+  event = translate(frame);
+  if (event.kind == Event::Kind::kBye) saw_bye_ = true;
+  return true;
+}
+
+bool ValidationClient::next_event(Event& event) { return pop_or_read(event); }
+
+validate::Verdict ValidationClient::await_verdict(std::uint32_t submit_id) {
+  auto done = finished_.find(submit_id);
+  if (done != finished_.end()) {
+    Event event = std::move(done->second);
+    finished_.erase(done);
+    if (event.kind == Event::Kind::kError) {
+      throw NetError(event.error, event.message);
+    }
+    return event.verdict;
+  }
+  Event event;
+  while (pop_or_read(event)) {
+    switch (event.kind) {
+      case Event::Kind::kChunk:
+        break;  // progress only; the verdict carries the aggregate
+      case Event::Kind::kVerdict:
+      case Event::Kind::kError:
+        if (event.submit_id == submit_id) {
+          if (event.kind == Event::Kind::kError) {
+            throw NetError(event.error, event.message);
+          }
+          return event.verdict;
+        }
+        finished_[event.submit_id] = std::move(event);
+        break;
+      case Event::Kind::kBye:
+        throw NetError(WireError::kInternal,
+                       std::string("server closed the connection (") +
+                           to_string(event.bye_reason) +
+                           ") before the verdict");
+    }
+  }
+  throw NetError(WireError::kInternal,
+                 "connection closed before the verdict arrived");
+}
+
+validate::Verdict ValidationClient::validate(std::uint32_t session_id,
+                                             std::uint64_t begin,
+                                             std::uint64_t end) {
+  return await_verdict(submit(session_id, /*stream=*/false, begin, end));
+}
+
+void ValidationClient::close_session(std::uint32_t session_id) {
+  CloseSessionRequest req;
+  req.session_id = session_id;
+  write_message(socket_, MsgType::kCloseSession, req);
+}
+
+ByeReason ValidationClient::goodbye() {
+  write_empty_message(socket_, MsgType::kGoodbye);
+  Event event;
+  while (pop_or_read(event)) {
+    if (event.kind == Event::Kind::kBye) return event.bye_reason;
+  }
+  throw NetError(WireError::kInternal, "connection closed without a kBye");
+}
+
+}  // namespace dnnv::net

@@ -1,0 +1,103 @@
+// Client side of the validation wire protocol: a blocking, single-threaded
+// connection to a net::ValidationServer.
+//
+// load()/open() are synchronous round-trips. submit() is pipelined — any
+// number may be outstanding; replies arrive in submit order and are read
+// with next_event() (chunks, verdicts, typed errors, the final kBye).
+// Convenience wrappers cover the two common shapes: validate() for one
+// blocking whole-range verdict, stream_events() for chunk-by-chunk reads.
+//
+// Thread model: one thread drives one client. Typed server rejections
+// surface as NetError (code() is the WireError) from the synchronous calls
+// and as kError events on the pipelined path.
+#ifndef DNNV_NET_CLIENT_H_
+#define DNNV_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "pipeline/service.h"
+#include "validate/validator.h"
+
+namespace dnnv::net {
+
+class ValidationClient {
+ public:
+  /// One server→client notification on the pipelined path.
+  struct Event {
+    enum class Kind { kChunk, kVerdict, kError, kBye };
+    Kind kind = Kind::kBye;
+    std::uint32_t submit_id = 0;  ///< which submit (kError: its ref, may be 0)
+    pipeline::VerdictStream::Chunk chunk;  ///< kChunk
+    validate::Verdict verdict;             ///< kVerdict
+    WireError error = WireError::kNone;    ///< kError
+    std::string message;                   ///< kError
+    ByeReason bye_reason = ByeReason::kGoodbye;  ///< kBye
+  };
+
+  /// Connects (TCP_NODELAY set). If the server is at capacity its kBusy
+  /// rejection surfaces as NetError(kBusy) from the first request.
+  static ValidationClient connect(const std::string& host, std::uint16_t port);
+
+  ValidationClient(ValidationClient&&) = default;
+  ValidationClient& operator=(ValidationClient&&) = default;
+
+  /// Asks the server to load (or reuse) the deliverable at its `path`.
+  /// Throws NetError carrying the typed corruption code on a bad container.
+  LoadResponse load(const std::string& path, std::uint64_t key);
+
+  /// Opens a session over a deliverable id from load() (or a server-side
+  /// preload). The full SessionConfig travels on the wire.
+  OpenResponse open(std::uint32_t deliverable_id,
+                    const pipeline::SessionConfig& config = {});
+
+  /// Pipelined submit of suite range [begin, end) (end 0 = whole suite);
+  /// returns the submit id its replies will carry. With stream=true the
+  /// server sends kChunk frames before the verdict.
+  std::uint32_t submit(std::uint32_t session_id, bool stream = false,
+                       std::uint64_t begin = 0, std::uint64_t end = 0);
+
+  /// Blocks for the next server notification. False once the stream is
+  /// finished (kBye was already delivered, or the peer vanished).
+  bool next_event(Event& event);
+
+  /// Pumps events until `submit_id`'s verdict: returns it, throws NetError
+  /// on its kError. Chunks and verdicts of OTHER submits are retained for
+  /// later await_verdict() calls; their chunk events are dropped.
+  validate::Verdict await_verdict(std::uint32_t submit_id);
+
+  /// Blocking convenience: submit + await_verdict.
+  validate::Verdict validate(std::uint32_t session_id, std::uint64_t begin = 0,
+                             std::uint64_t end = 0);
+
+  /// Releases the server-side session (no acknowledgement).
+  void close_session(std::uint32_t session_id);
+
+  /// Polite close: kGoodbye, drain to the server's kBye, return its reason.
+  ByeReason goodbye();
+
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  explicit ValidationClient(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Reads frames until `expect`, buffering pipelined notifications aside;
+  /// kError becomes NetError, kBye/EOF become NetError(kInternal).
+  Frame read_sync_response(MsgType expect);
+  bool pop_or_read(Event& event);
+  static Event translate(const Frame& frame);
+
+  Socket socket_;
+  std::uint32_t next_submit_id_ = 1;
+  std::deque<Event> buffered_;  ///< notifications read while awaiting sync
+  std::unordered_map<std::uint32_t, Event> finished_;  ///< out-of-order ends
+  bool saw_bye_ = false;
+};
+
+}  // namespace dnnv::net
+
+#endif  // DNNV_NET_CLIENT_H_

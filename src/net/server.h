@@ -1,0 +1,110 @@
+// Network-facing validation server: exposes the ValidationService session
+// API (load deliverable / open session / submit / stream chunks / close)
+// over the length-prefixed binary protocol of net/protocol.h, so remote
+// users qualify shipped DNN IPs without linking the pipeline.
+//
+// Concurrency model (all TSan-clean):
+//
+//   * accept thread — admission control. Under max_connections a socket
+//     gets its own reader+writer thread pair; up to admission_queue more
+//     wait for a slot; beyond that the socket is told kError(kBusy) and
+//     closed, a typed rejection the client can back off on.
+//   * per-connection reader — decodes frames, answers load/open/close
+//     synchronously, and turns submits into ValidationService futures or
+//     VerdictStreams. Backpressure: at most max_inflight_submits submits
+//     may be unanswered per connection; further submit frames block the
+//     reader (and therefore, via TCP flow control, the client).
+//   * per-connection writer — pops queued replies FIFO and writes kChunk*
+//     + kVerdict frames as the scheduler produces them. On close it keeps
+//     draining until every accepted submit has been answered, then sends
+//     kBye with the close reason — graceful eviction, never dropped
+//     verdicts.
+//   * housekeeping thread — reaps finished connections, promotes queued
+//     sockets into freed slots, and evicts sessions idle past
+//     idle_timeout_seconds (drain, kBye(kIdleTimeout), close).
+//
+// Frame writes take the connection's write mutex and issue one send per
+// frame, so reader responses and writer verdicts never interleave.
+//
+// Deliverable sharding: load requests resolve through the service's
+// ref-counted registry (many connections loading one path share one decoded
+// bundle); each connection pins the handles it loaded, and teardown drops
+// them back to the service LRU. preload() pins a deliverable server-side so
+// every connection can open it by id without its own load round-trip.
+#ifndef DNNV_NET_SERVER_H_
+#define DNNV_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pipeline/service.h"
+
+namespace dnnv::net {
+
+namespace detail {
+struct ServerImpl;
+}  // namespace detail
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
+  /// Connections served concurrently (each costs two threads).
+  std::size_t max_connections = 16;
+  /// Accepted sockets parked while all slots are busy; one past this is
+  /// rejected with kError(kBusy).
+  std::size_t admission_queue = 8;
+  /// Unanswered submits allowed per connection before the reader stops
+  /// taking frames (per-connection backpressure).
+  std::size_t max_inflight_submits = 32;
+  /// Evict a connection idle this long (0 = never). Eviction drains
+  /// in-flight verdicts before kBye(kIdleTimeout).
+  double idle_timeout_seconds = 0.0;
+  /// The embedded ValidationService the sessions run on.
+  pipeline::ValidationService::Config service;
+};
+
+/// TCP front-end over an owned ValidationService. The constructor binds and
+/// starts serving; stop() (or the destructor) drains and joins everything.
+class ValidationServer {
+ public:
+  /// Cumulative counters (monotone except active_connections).
+  struct Stats {
+    std::uint64_t accepted = 0;       ///< sockets admitted (served or queued)
+    std::uint64_t rejected_busy = 0;  ///< sockets turned away with kBusy
+    std::uint64_t evicted_idle = 0;   ///< connections closed by idle timeout
+    std::uint64_t requests = 0;       ///< frames handled by readers
+    std::uint64_t submits = 0;        ///< submits accepted into the scheduler
+    std::uint64_t active_connections = 0;  ///< gauge: currently served
+    std::uint64_t peak_inflight_submits = 0;  ///< max unanswered on any conn
+  };
+
+  explicit ValidationServer(ServerConfig config = {});
+  ~ValidationServer();
+
+  ValidationServer(const ValidationServer&) = delete;
+  ValidationServer& operator=(const ValidationServer&) = delete;
+
+  /// The bound port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const;
+
+  /// Loads `path` into the service and pins it for the server's lifetime;
+  /// returns the wire deliverable id any connection may open directly.
+  std::uint32_t preload(const std::string& path, std::uint64_t key);
+
+  /// Graceful shutdown: stops accepting, asks every connection to close
+  /// (drain in-flight verdicts, kBye(kShutdown)), joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  pipeline::ValidationService& service();
+
+  Stats stats() const;
+
+ private:
+  std::unique_ptr<detail::ServerImpl> impl_;
+};
+
+}  // namespace dnnv::net
+
+#endif  // DNNV_NET_SERVER_H_

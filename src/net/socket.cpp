@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace dnnv::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  DNNV_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "not a numeric IPv4 address: '" << host << "'");
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DNNV_CHECK(fd >= 0, "socket(): " << std::strerror(errno));
+  Socket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  DNNV_CHECK(rc == 0, "connect to " << host << ":" << port << ": "
+                                    << std::strerror(errno));
+  socket.set_nodelay();
+  return socket;
+}
+
+void Socket::set_nodelay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::write_all(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      DNNV_THROW("socket write failed: " << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+bool Socket::read_exact(void* data, std::size_t n) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, bytes + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      DNNV_THROW("socket read failed: " << std::strerror(errno));
+    }
+    if (rc == 0) {
+      if (got == 0) return false;  // clean close between messages
+      DNNV_THROW("peer closed mid-message (" << got << "/" << n << " bytes)");
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener Listener::bind(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DNNV_CHECK(fd >= 0, "socket(): " << std::strerror(errno));
+  Listener listener;
+  listener.fd_.store(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  DNNV_CHECK(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind " << host << ":" << port << ": " << std::strerror(errno));
+  DNNV_CHECK(::listen(fd, 128) == 0, "listen: " << std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  DNNV_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+             "getsockname: " << std::strerror(errno));
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int listen_fd = fd_.load(std::memory_order_relaxed);
+    if (listen_fd < 0) return Socket();  // closed between iterations
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after close(): the shutdown signal, not an error.
+    return Socket();
+  }
+}
+
+void Listener::close() {
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    // shutdown() aborts a concurrent accept() on Linux even while close()
+    // alone can leave it blocked; do both.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace dnnv::net

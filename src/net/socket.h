@@ -1,0 +1,97 @@
+// Thin RAII wrappers over POSIX TCP sockets for the validation server and
+// client. Deliberately minimal: blocking I/O, IPv4, loopback-or-LAN serving
+// — the subsystem's concurrency lives in net::ValidationServer, not here.
+//
+// Error model: constructors and write paths throw dnnv::Error on OS
+// failures; reads distinguish a clean peer close (false) from a mid-frame
+// failure (throw), which is what a length-prefixed protocol needs.
+#ifndef DNNV_NET_SOCKET_H_
+#define DNNV_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dnnv::net {
+
+/// One connected TCP stream (client side or an accepted server peer).
+/// Move-only; the destructor closes the descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected descriptor (server accept path).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to `host`:`port` (numeric IPv4, e.g. "127.0.0.1"). Throws on
+  /// refusal/unreachability.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Disables Nagle coalescing — both serving and the load harness are
+  /// request/response bound, where a 40 ms Nagle+delayed-ACK stall per
+  /// round trip would swamp every latency percentile.
+  void set_nodelay();
+
+  /// Writes all `n` bytes (looping over partial writes, SIGPIPE suppressed).
+  /// Throws dnnv::Error when the peer is gone.
+  void write_all(const void* data, std::size_t n);
+
+  /// Reads exactly `n` bytes. Returns false on a clean EOF at offset 0 (the
+  /// peer closed between messages); throws on EOF mid-buffer or any error.
+  bool read_exact(void* data, std::size_t n);
+
+  /// Half-close helpers. shutdown_read wakes a peer thread blocked in
+  /// read_exact (it observes EOF) without discarding written data.
+  void shutdown_read();
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket. close() (from any thread) aborts a blocked
+/// accept(), which is how the server's accept loop is told to stop.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on `host`:`port`. Port 0 picks an ephemeral port —
+  /// read it back with port(). SO_REUSEADDR is set.
+  static Listener bind(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns an invalid Socket when the
+  /// listener was closed (shutdown signal) instead of throwing.
+  Socket accept();
+
+  void close();
+
+ private:
+  /// Atomic because close() signals a concurrently-blocked accept(): the
+  /// closer swaps the descriptor out while the accept thread re-reads it.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dnnv::net
+
+#endif  // DNNV_NET_SOCKET_H_

@@ -208,6 +208,10 @@ struct ServiceImpl {
   std::size_t pending_total = 0;  ///< indices queued across all lanes
   std::size_t inflight = 0;       ///< batches executing
   std::size_t active_runs = 0;
+  /// Publish batches collected under the lock but not yet delivered to
+  /// futures/streams. drain() waits on this too, so "scheduler quiet"
+  /// implies every finished run's promise has actually been fulfilled.
+  std::size_t publishing = 0;
 
   ValidationService::Stats stats;
 
@@ -482,9 +486,15 @@ std::shared_ptr<RunState> ServiceImpl::submit(const Session& session,
       entry_it->second.push_back(run);
       if (inserted) ++pending_total;
     }
+    ++publishing;
   }
   scheduler_cv.notify_all();
   publish(out);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    --publishing;
+  }
+  scheduler_cv.notify_all();
   return run;
 }
 
@@ -742,9 +752,15 @@ void ServiceImpl::run_batch(std::unique_ptr<BatchJob> job) {
       if (lane->refs == 0) gc_lane_locked(job->lane_id);
     }
     --inflight;
+    ++publishing;
   }
   scheduler_cv.notify_all();
   publish(out);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    --publishing;
+  }
+  scheduler_cv.notify_all();
 }
 
 void ServiceImpl::scheduler_loop() {
@@ -913,6 +929,36 @@ std::shared_ptr<Session> ValidationService::open_session(
 std::size_t ValidationService::resident_deliverables() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->registry.size();
+}
+
+void ValidationService::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  // finish_run_locked and run_batch both notify scheduler_cv after their
+  // counters drop, so this wakes exactly when the scheduler goes empty.
+  // `publishing` covers the window between a run finishing (counters at
+  // zero) and its promise/stream actually being fulfilled outside the
+  // lock — after drain() returns, every verdict future is ready.
+  impl_->scheduler_cv.wait(lock, [this] {
+    return impl_->pending_total == 0 && impl_->inflight == 0 &&
+           impl_->active_runs == 0 && impl_->publishing == 0;
+  });
+}
+
+std::size_t ValidationService::evict_unpinned() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::size_t evicted = 0;
+  for (auto it = impl_->registry.begin(); it != impl_->registry.end();) {
+    if (it->second.use_count() == 1) {  // registry holds the only reference
+      it->second->registered = false;
+      impl_->gc_lanes_for_entry_locked(it->second);
+      it = impl_->registry.erase(it);
+      ++impl_->stats.evictions;
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 SuiteCoverage ValidationService::suite_coverage(

@@ -268,6 +268,18 @@ class ValidationService {
   /// Entries currently resident in the registry (pinned + cached).
   std::size_t resident_deliverables() const;
 
+  /// Blocks until every queued and in-flight submit has produced its
+  /// verdict. New submits may keep arriving — drain() returns at a moment
+  /// the scheduler was empty, which is what graceful eviction wants: a
+  /// caller that stops submitting and then drains is guaranteed all ITS
+  /// verdicts have been published.
+  void drain();
+
+  /// Evicts every unpinned registry entry (no live handle or session)
+  /// regardless of LRU capacity, releasing their scheduler lanes. Returns
+  /// the number of entries dropped. Pinned entries are untouched.
+  std::size_t evict_unpinned();
+
   /// Per-criterion coverage of a registered deliverable's suite, re-measured
   /// from its manifest's criterion name + config (see
   /// pipeline::suite_coverage). Runs on the caller's thread — the scheduler

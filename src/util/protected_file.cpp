@@ -1,5 +1,6 @@
 #include "util/protected_file.h"
 
+#include <sstream>
 #include <utility>
 
 #include "util/crc32.h"
@@ -8,6 +9,29 @@
 #include "util/serialize.h"
 
 namespace dnnv {
+
+namespace {
+
+[[noreturn]] void throw_fault(ProtectedFileFault fault,
+                              const std::ostringstream& message) {
+  throw ProtectedFileError(fault, message.str());
+}
+
+}  // namespace
+
+const char* to_string(ProtectedFileFault fault) {
+  switch (fault) {
+    case ProtectedFileFault::kBadMagic:
+      return "bad-magic";
+    case ProtectedFileFault::kBadVersion:
+      return "bad-version";
+    case ProtectedFileFault::kShortRead:
+      return "short-read";
+    case ProtectedFileFault::kBadCrc:
+      return "bad-crc";
+  }
+  return "unknown";
+}
 
 void write_protected_file(const std::string& path,
                           std::vector<std::uint8_t> payload, std::uint64_t key,
@@ -30,42 +54,49 @@ std::vector<std::uint8_t> read_protected_file(const std::string& path,
                                               std::uint32_t magic,
                                               std::uint32_t version,
                                               const char* what) {
-  // Each failure mode gets its own diagnostic — "bad magic", "unsupported
-  // version", "short read", "bad CRC" — so a user qualifying a shipment can
-  // tell a wrong file from a truncated download from in-transit corruption.
+  // Each failure mode gets its own diagnostic AND typed fault — "bad magic",
+  // "unsupported version", "short read", "bad CRC" — so a user qualifying a
+  // shipment can tell a wrong file from a truncated download from in-transit
+  // corruption, locally or through the serving wire protocol.
   ByteReader file(read_file(path));
   constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
   if (file.remaining() < kHeaderBytes) {
-    DNNV_THROW("short read: " << what << " file '" << path << "' holds "
-                              << file.remaining()
-                              << " bytes, smaller than the " << kHeaderBytes
-                              << "-byte header");
+    std::ostringstream os;
+    os << "short read: " << what << " file '" << path << "' holds "
+       << file.remaining() << " bytes, smaller than the " << kHeaderBytes
+       << "-byte header";
+    throw_fault(ProtectedFileFault::kShortRead, os);
   }
   const std::uint32_t found_magic = file.read_u32();
   if (found_magic != magic) {
-    DNNV_THROW("bad magic: '" << path << "' is not a dnnv " << what
-                              << " (found 0x" << std::hex << found_magic
-                              << ", expected 0x" << magic << ")");
+    std::ostringstream os;
+    os << "bad magic: '" << path << "' is not a dnnv " << what << " (found 0x"
+       << std::hex << found_magic << ", expected 0x" << magic << ")";
+    throw_fault(ProtectedFileFault::kBadMagic, os);
   }
   const std::uint32_t found_version = file.read_u32();
   if (found_version != version) {
-    DNNV_THROW("unsupported " << what << " version " << found_version
-                              << " (this build reads version " << version
-                              << ")");
+    std::ostringstream os;
+    os << "unsupported " << what << " version " << found_version
+       << " (this build reads version " << version << ")";
+    throw_fault(ProtectedFileFault::kBadVersion, os);
   }
   const std::uint32_t expected_crc = file.read_u32();
   const std::uint64_t cipher_size = file.read_u64();
   if (cipher_size != file.remaining()) {
-    DNNV_THROW("short read: " << what << " payload declares " << cipher_size
-                              << " bytes but " << file.remaining()
-                              << " remain (truncated or overlong file)");
+    std::ostringstream os;
+    os << "short read: " << what << " payload declares " << cipher_size
+       << " bytes but " << file.remaining()
+       << " remain (truncated or overlong file)";
+    throw_fault(ProtectedFileFault::kShortRead, os);
   }
   std::vector<std::uint8_t> cipher =
       file.read_bytes(static_cast<std::size_t>(cipher_size));
   if (crc32(cipher) != expected_crc) {
-    DNNV_THROW("bad CRC: " << what
-                           << " payload failed its integrity check "
-                              "(corrupted in transit?)");
+    std::ostringstream os;
+    os << "bad CRC: " << what
+       << " payload failed its integrity check (corrupted in transit?)";
+    throw_fault(ProtectedFileFault::kBadCrc, os);
   }
   keystream_xor(cipher, key);
   return cipher;

@@ -14,7 +14,38 @@
 #include <string>
 #include <vector>
 
+#include "util/error.h"
+
 namespace dnnv {
+
+/// The distinct container-verification failure modes. Carried as a typed
+/// field (not just message text) so transport layers — the validation
+/// server's wire protocol, a future HTTP front-end — can surface each mode
+/// as its own error code instead of one generic "load failed".
+enum class ProtectedFileFault {
+  kBadMagic,    ///< not a dnnv container of the expected kind
+  kBadVersion,  ///< container kind matches but the version is unsupported
+  kShortRead,   ///< truncated header or payload
+  kBadCrc       ///< payload failed its integrity check (in-transit corruption)
+};
+
+/// Stable lowercase token per fault ("bad-magic", "bad-version",
+/// "short-read", "bad-crc") for logs and machine-readable reporting.
+const char* to_string(ProtectedFileFault fault);
+
+/// Error thrown by read_protected_file: the usual dnnv::Error message plus
+/// the typed fault. Catch dnnv::Error to treat all modes alike; catch this
+/// to dispatch on fault().
+class ProtectedFileError : public Error {
+ public:
+  ProtectedFileError(ProtectedFileFault fault, const std::string& what)
+      : Error(what), fault_(fault) {}
+
+  ProtectedFileFault fault() const { return fault_; }
+
+ private:
+  ProtectedFileFault fault_;
+};
 
 /// Obfuscates `payload` with `key`, frames it with magic/version/CRC and
 /// writes `path`.
@@ -24,10 +55,10 @@ void write_protected_file(const std::string& path,
                           const char* what);
 
 /// Verifies magic, version, truncation and CRC, then de-obfuscates and
-/// returns the plaintext payload. Throws dnnv::Error naming `what` with a
-/// distinct diagnostic per failure mode: "bad magic" (not our container),
-/// "unsupported ... version", "short read" (truncated header or payload)
-/// and "bad CRC" (in-transit corruption).
+/// returns the plaintext payload. Throws ProtectedFileError naming `what`
+/// with a distinct diagnostic (and typed fault) per failure mode: "bad
+/// magic" (not our container), "unsupported ... version", "short read"
+/// (truncated header or payload) and "bad CRC" (in-transit corruption).
 std::vector<std::uint8_t> read_protected_file(const std::string& path,
                                               std::uint64_t key,
                                               std::uint32_t magic,
