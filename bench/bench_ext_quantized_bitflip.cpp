@@ -1,9 +1,22 @@
 // Extension — memory bit-flip detection on the int8 accelerator IP: how
 // often the functional-test suite catches a single-bit fault, by bit
 // position (sign bit vs low-order bits) and by layer.
+//
+//   bench_ext_quantized_bitflip [--trials N] [--tests N] [--quick]
+//                               [--json [path|family]] [--baseline path]
+//                               [--max-regress pct]
+//
+// --quick shrinks to the tiny zoo model + fewer trials for CI smoke. The
+// per-bit detection rates are deterministic for a given model + trial count
+// (fixed RNG seed), so the committed baseline gates them tightly; the
+// baseline was recorded with the --quick configuration.
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "coverage/parameter_coverage.h"
 #include "ip/fault_injector.h"
 #include "ip/quantized_ip.h"
@@ -14,73 +27,127 @@
 
 int main(int argc, char** argv) {
   using namespace dnnv;
-  const CliArgs args(argc, argv, {"trials", "tests", "paper-scale", "retrain"});
-  const int trials = args.get_int("trials", 150);
-  const int max_tests = args.get_int("tests", 30);
-  bench::banner("bench_ext_quantized_bitflip",
-                "extension — single-bit memory faults on the int8 IP");
+  try {
+    const CliArgs args(argc, argv,
+                       {"trials", "tests", "quick", "paper-scale", "retrain",
+                        "json", "baseline", "max-regress"});
+    const bool quick = args.get_bool("quick", false);
+    const int trials = args.get_int("trials", quick ? 60 : 150);
+    const int max_tests = args.get_int("tests", quick ? 24 : 30);
+    bench::banner("bench_ext_quantized_bitflip",
+                  "extension — single-bit memory faults on the int8 IP");
 
-  const auto options = bench::zoo_options(args);
-  auto trained = exp::cifar_relu(options);
-  const auto pool = exp::shapes_train(400);
+    auto options = bench::zoo_options(args);
+    options.tiny = quick;
+    auto trained = exp::cifar_relu(options);
+    const auto pool = exp::shapes_train(400);
 
-  // Generate the functional-test suite with the combined method.
-  cov::CoverageAccumulator acc(
-      static_cast<std::size_t>(trained.model.param_count()));
-  testgen::GeneratorConfig gen_config;
-  gen_config.max_tests = max_tests;
-  gen_config.coverage = trained.coverage;
-  gen_config.gradient.steps = 60;
-  testgen::GenContext gen_ctx;
-  gen_ctx.model = &trained.model;
-  gen_ctx.pool = &pool.images;
-  gen_ctx.item_shape = trained.item_shape;
-  gen_ctx.num_classes = trained.num_classes;
-  gen_ctx.accumulator = &acc;
-  const auto tests =
-      testgen::make_generator("combined", gen_config)->generate(gen_ctx);
+    // Generate the functional-test suite with the combined method.
+    cov::CoverageAccumulator acc(
+        static_cast<std::size_t>(trained.model.param_count()));
+    testgen::GeneratorConfig gen_config;
+    gen_config.max_tests = max_tests;
+    gen_config.coverage = trained.coverage;
+    gen_config.gradient.steps = 60;
+    testgen::GenContext gen_ctx;
+    gen_ctx.model = &trained.model;
+    gen_ctx.pool = &pool.images;
+    gen_ctx.item_shape = trained.item_shape;
+    gen_ctx.num_classes = trained.num_classes;
+    gen_ctx.accumulator = &acc;
+    const auto tests =
+        testgen::make_generator("combined", gen_config)->generate(gen_ctx);
 
-  // Golden labels from the quantised IP itself (the shipped artefact).
-  ip::QuantizedIp quantized(trained.model, trained.item_shape);
-  std::vector<Tensor> inputs;
-  for (const auto& test : tests.tests) inputs.push_back(test.input);
-  const auto golden = quantized.predict_all(inputs);
-  std::cout << "suite: " << inputs.size() << " tests, VC "
-            << format_percent(acc.coverage()) << ", memory "
-            << quantized.memory_size() << " bytes (int8 weights)\n"
-            << "max quantisation error: " << quantized.max_quantization_error()
-            << "\n\n";
+    // Golden labels from the quantised IP itself (the shipped artefact).
+    ip::QuantizedIp quantized(trained.model, trained.item_shape);
+    std::vector<Tensor> inputs;
+    for (const auto& test : tests.tests) inputs.push_back(test.input);
+    const auto golden = quantized.predict_all(inputs);
+    std::cout << "suite: " << inputs.size() << " tests, VC "
+              << format_percent(acc.coverage()) << ", memory "
+              << quantized.memory_size() << " bytes (int8 weights)\n"
+              << "max quantisation error: "
+              << quantized.max_quantization_error() << "\n\n";
 
-  auto detects = [&]() {
-    const auto labels = quantized.predict_all(inputs);
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i] != golden[i]) return true;
+    auto detects = [&]() {
+      const auto labels = quantized.predict_all(inputs);
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] != golden[i]) return true;
+      }
+      return false;
+    };
+
+    ip::FaultInjector injector(quantized);
+    TablePrinter table({"bit position", "weight delta (quanta)", "detected",
+                        "detection rate"});
+    std::vector<bench::BenchMetric> metrics;
+    // Quick mode samples the FIRST weight tensor only: on the tiny model a
+    // whole-memory sample almost never lands a detectable fault (24 tests x
+    // one bit in 100k robust weights), which would pin every rate to zero.
+    // First-layer faults feed every downstream activation, so the per-bit
+    // shape survives at smoke scale.
+    const std::size_t address_space =
+        quick ? static_cast<std::size_t>(quantized.tensor_table().front().size)
+              : quantized.memory_size();
+    if (quick) {
+      std::cout << "quick: fault addresses restricted to the first weight "
+                   "tensor ("
+                << address_space << " bytes)\n";
     }
-    return false;
-  };
-
-  ip::FaultInjector injector(quantized);
-  TablePrinter table({"bit position", "weight delta (quanta)", "detected",
-                      "detection rate"});
-  Rng rng(2024);
-  for (const int bit : {7, 6, 4, 2, 0}) {
-    int detected = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      const std::size_t address = rng.uniform_u64(quantized.memory_size());
-      const auto fault = injector.inject_bit_flip(address, bit);
-      if (detects()) ++detected;
-      injector.revert(fault);
+    Rng rng(2024);
+    for (const int bit : {7, 6, 4, 2, 0}) {
+      int detected = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const std::size_t address = rng.uniform_u64(address_space);
+        const auto fault = injector.inject_bit_flip(address, bit);
+        if (detects()) ++detected;
+        injector.revert(fault);
+      }
+      const int delta = 1 << bit;
+      const double rate = static_cast<double>(detected) / trials;
+      table.add_row({"bit " + std::to_string(bit) +
+                         (bit == 7 ? " (sign)" : ""),
+                     std::to_string(delta), std::to_string(detected) + "/" +
+                         std::to_string(trials),
+                     format_percent(rate)});
+      metrics.push_back({"bit" + std::to_string(bit) + "_detection_pct",
+                         100.0 * rate, "%", true});
     }
-    const int delta = 1 << bit;
-    table.add_row({"bit " + std::to_string(bit) +
-                       (bit == 7 ? " (sign)" : ""),
-                   std::to_string(delta), std::to_string(detected) + "/" +
-                       std::to_string(trials),
-                   format_percent(static_cast<double>(detected) / trials)});
+    table.print(std::cout);
+    std::cout << "\nexpected shape: detection falls with bit significance — "
+                 "the sign bit moves a weight by 128 quanta and is caught "
+                 "most often; low-order bits are sub-quantisation-noise.\n";
+
+    if (args.has("json")) {
+      const std::string path = bench::resolve_json_out(
+          "ext_quantized_bitflip", args.get_string("json", ""));
+      std::map<std::string, std::string> config;
+      config["quick"] = quick ? "1" : "0";
+      config["trials"] = std::to_string(trials);
+      config["tests"] = std::to_string(max_tests);
+      config["model"] = trained.name;
+      bench::write_bench_json(path, "ext_quantized_bitflip", config, metrics);
+    }
+    if (args.has("baseline")) {
+      const std::string baseline = bench::resolve_baseline_arg(
+          "ext_quantized_bitflip", args.get_string("baseline", ""));
+      // Rates are deterministic at fixed trials/model, but the low-order
+      // bits sit near zero where one flipped trial is a large relative move;
+      // 15% keeps the sign/mid bits tight without flaking on bit 0/2.
+      const double max_regress = args.get_double("max-regress", 15.0);
+      std::cout << "\ndiff vs " << baseline << " (max regression "
+                << max_regress << "%):\n";
+      const int regressions =
+          bench::diff_against_baseline(metrics, baseline, max_regress);
+      if (regressions > 0) {
+        std::cerr << regressions << " metric(s) regressed beyond "
+                  << max_regress << "%\n";
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const dnnv::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   }
-  table.print(std::cout);
-  std::cout << "\nexpected shape: detection falls with bit significance — the "
-               "sign bit moves a weight by 128 quanta and is caught most "
-               "often; low-order bits are sub-quantisation-noise.\n";
-  return 0;
 }

@@ -39,8 +39,16 @@
 //                 [--port 7433] [--backend auto|float|int8] [--stream]
 //                 [--key 12345]
 //
+// Fault qualification (vendor side, backend int8): --fault-universe
+// [stuck-at|full] scores the suite against the structural fault universe of
+// the int8 artifact and ships the detection stats in the manifest
+// (--fault-budget caps the universe); --compact greedily drops tests that
+// detect no fault the kept ones miss. The user side re-measures the shipped
+// fault coverage automatically when the manifest carries a fault model.
+//
 // --list prints the registered generation methods, --list-coverage the
-// registered coverage criteria; both exit.
+// registered coverage criteria, --list-faults the collapsed fault universe
+// of the chosen (quantized) zoo model; all exit.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,6 +60,8 @@
 
 #include "bench/bench_common.h"
 #include "exp/model_zoo.h"
+#include "fault/collapse.h"
+#include "fault/fault_model.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "pipeline/service.h"
@@ -66,6 +76,14 @@
 namespace {
 
 using namespace dnnv;
+
+/// "--fault-universe" alone means the default preset; with a value it names
+/// one ("stuck-at", "full").
+std::string fault_preset(const CliArgs& args) {
+  std::string preset = args.get_string("fault-universe", "stuck-at");
+  if (preset == "true" || preset.empty()) preset = "stuck-at";
+  return preset;
+}
 
 int run_vendor(const CliArgs& args) {
   const std::string which = args.get_string("model", "cifar");
@@ -91,6 +109,11 @@ int run_vendor(const CliArgs& args) {
   options.generator.coverage = trained.coverage;
   options.generator.gradient.steps = args.get_int("steps", 40);
   options.model_name = trained.name;
+  if (args.has("fault-universe")) {
+    options.fault_model = fault_preset(args);
+    options.fault_budget = args.get_int("fault-budget", 2048);
+    options.compact = args.get_bool("compact", false);
+  }
 
   std::cout << "vendor: " << trained.name << ", method '" << options.method
             << "', criterion '" << options.criterion << "', backend '"
@@ -109,8 +132,49 @@ int run_vendor(const CliArgs& args) {
   if (!report.kernel_config.empty()) {
     std::cout << "\nqualification engine: " << report.kernel_config;
   }
+  if (!options.fault_model.empty()) {
+    const auto& fs = report.fault_stats;
+    std::cout << "\nfault universe '" << options.fault_model << "': "
+              << fs.enumerated << " enumerated, " << fs.collapsed
+              << " scored, " << fs.detected << " detected ("
+              << format_percent(fs.detection_rate()) << "), dominance core "
+              << fs.core;
+    if (options.compact) {
+      std::cout << "\ncompacted suite: " << fs.kept_tests << "/"
+                << report.generation.tests.size()
+                << " tests kept at unchanged detected-fault coverage";
+    }
+  }
   std::cout << "\nwrote " << out << " (" << deliverable.manifest.summary()
             << ")\n";
+  return 0;
+}
+
+int run_list_faults(const CliArgs& args) {
+  const std::string which = args.get_string("model", "cifar");
+  exp::ZooOptions zoo;
+  zoo.tiny = args.get_bool("tiny", false);
+  const auto trained =
+      which == "mnist" ? exp::mnist_tanh(zoo) : exp::cifar_relu(zoo);
+  const auto pool_size = static_cast<std::int64_t>(args.get_int("pool", 300));
+  const auto pool = which == "mnist" ? exp::digits_train(pool_size)
+                                     : exp::shapes_train(pool_size);
+  const auto qmodel = quant::QuantModel::quantize(
+      trained.model, pool.images, quant::QuantConfig{});
+
+  fault::UniverseConfig config = fault::universe_config(fault_preset(args));
+  config.max_faults = args.get_int("fault-budget", 2048);
+  const auto universe = fault::FaultUniverse::enumerate(qmodel, config);
+  fault::CollapseStats stats;
+  const auto collapsed = fault::collapse_structural(universe, qmodel, &stats);
+  std::cout << trained.name << " fault universe [" << config.summary()
+            << "]: " << stats.input << " enumerated, " << stats.kept
+            << " kept (" << stats.dropped_noop << " no-op, "
+            << stats.dropped_equivalent << " equivalent, "
+            << stats.dropped_dead << " dead-channel)\n";
+  for (const auto& fault : collapsed.faults()) {
+    std::cout << "  " << fault.describe() << "\n";
+  }
   return 0;
 }
 
@@ -134,6 +198,19 @@ int run_user(const CliArgs& args) {
     std::cout << "suite coverage not re-measured: criterion '"
               << validator.deliverable().manifest.criterion
               << "' is not registered in this binary\n";
+  }
+  // Same for the fault side: when the manifest carries a fault model, the
+  // universe regenerates deterministically from the shipped artifact and the
+  // suite's detection rate is re-measured locally.
+  const auto& manifest = validator.deliverable().manifest;
+  if (!manifest.fault_model.empty()) {
+    const auto fault = validator.fault_coverage();
+    std::cout << "fault coverage re-measured: " << fault.detected << "/"
+              << fault.collapsed << " '" << manifest.fault_model
+              << "' faults detected ("
+              << format_percent(fault.detection_rate()) << "; manifest says "
+              << manifest.fault_detected << "/" << manifest.fault_universe
+              << ")\n";
   }
   const auto verdict = validator.validate();
   std::cout << "replayed " << verdict.tests_run << " tests: "
@@ -318,7 +395,9 @@ int main(int argc, char** argv) {
                         "tests", "out", "in", "model", "tiny", "pool", "key",
                         "steps", "list", "list-coverage", "serve", "sessions",
                         "stream", "serve-tcp", "validate-tcp", "host", "port",
-                        "max-connections", "idle-timeout", "preload"});
+                        "max-connections", "idle-timeout", "preload",
+                        "fault-universe", "fault-budget", "compact",
+                        "list-faults"});
     if (args.get_bool("list", false)) {
       std::cout << "registered generation methods:\n";
       for (const auto& name : testgen::generator_names()) {
@@ -333,6 +412,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (args.get_bool("list-faults", false)) return run_list_faults(args);
     if (args.get_bool("serve-tcp", false)) return run_serve_tcp(args);
     if (args.get_bool("validate-tcp", false)) return run_validate_tcp(args);
     if (args.get_bool("serve", false)) return run_serve(args);

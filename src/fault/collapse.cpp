@@ -1,0 +1,146 @@
+#include "fault/collapse.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace dnnv::fault {
+namespace {
+
+std::int64_t layer_fanin(const quant::QLayer& q) {
+  return q.kind == quant::QLayerKind::kConv2d
+             ? q.in_channels * q.kernel * q.kernel
+             : q.in_features;
+}
+
+/// The output channel a code/acc fault feeds.
+std::int64_t fault_channel(const quant::QLayer& q, const Fault& f) {
+  if (!is_code_fault(f.kind) || f.is_bias) return f.unit;
+  return f.unit / layer_fanin(q);
+}
+
+/// FNV-1a over the row words — identical rows collide on purpose.
+std::size_t row_hash(const DynamicBitset& row) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t w : row.words()) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+FaultUniverse collapse_structural(const FaultUniverse& universe,
+                                  const quant::QuantModel& model,
+                                  CollapseStats* stats) {
+  CollapseStats local;
+  local.input = universe.size();
+  FaultUniverse kept;
+  // Structural-equivalence key of a code fault: (layer, tensor, unit,
+  // resulting code) — two faults mapping the same unit to the same code are
+  // indistinguishable by ANY test.
+  std::unordered_set<std::uint64_t> seen_codes;
+  std::unordered_set<std::uint64_t> seen_ids;
+  for (const Fault& f : universe.faults()) {
+    const quant::QLayer& q = model.layers()[f.layer];
+    // Dead channel: a requant multiplier of 0 forces that channel's output
+    // to 0 whatever the accumulator holds, so weight/bias/acc faults
+    // confined to it are undetectable by construction.
+    if (!q.dequant_output && f.kind != FaultKind::kRequantMult) {
+      const std::int64_t channel = fault_channel(q, f);
+      if (model.requant_multiplier(f.layer, channel) == 0) {
+        ++local.dropped_dead;
+        continue;
+      }
+    }
+    if (is_code_fault(f.kind)) {
+      const std::int8_t prev = model.code_at(f.layer, f.is_bias != 0, f.unit);
+      const std::int8_t next = faulted_code(prev, f);
+      if (next == prev) {
+        ++local.dropped_noop;
+        continue;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(f.layer) << 50) |
+          (static_cast<std::uint64_t>(f.is_bias & 1) << 49) |
+          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(next)) << 40) |
+          (static_cast<std::uint64_t>(f.unit) & 0xFFFFFFFFFFull);
+      if (!seen_codes.insert(key).second) {
+        ++local.dropped_equivalent;
+        continue;
+      }
+    } else if (!seen_ids.insert(f.id()).second) {
+      ++local.dropped_equivalent;
+      continue;
+    }
+    kept.add(f);
+  }
+  local.kept = kept.size();
+  if (stats) *stats = local;
+  return kept;
+}
+
+MatrixCollapse analyze_matrix(const std::vector<DynamicBitset>& rows) {
+  MatrixCollapse mc;
+  mc.representative.resize(rows.size());
+  // Equivalence: identical detection rows → one class, represented by the
+  // lowest fault index. Hash buckets hold candidate indices; exact row
+  // comparison resolves collisions.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
+  std::vector<std::size_t> reps;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto& bucket = buckets[row_hash(rows[i])];
+    std::size_t rep = i;
+    for (const std::size_t j : bucket) {
+      if (rows[j] == rows[i]) {
+        rep = j;
+        break;
+      }
+    }
+    if (rep == i) bucket.push_back(i);
+    mc.representative[i] = rep;
+    if (rep == i) {
+      if (rows[i].none()) {
+        mc.undetected.push_back(i);
+      } else {
+        reps.push_back(i);
+      }
+    } else if (rows[rep].none()) {
+      mc.undetected.push_back(i);
+    }
+  }
+  mc.num_classes = reps.size();
+
+  // Dominance: rep i is removable when some rep j's row is a strict subset
+  // of i's — any test detecting j also detects i. Sweep by ascending
+  // popcount so candidates only need checking against already-kept smaller
+  // rows; equal-popcount rows are distinct (different classes) and cannot
+  // be subsets of each other.
+  std::vector<std::size_t> order = reps;
+  std::sort(order.begin(), order.end(), [&rows](std::size_t a, std::size_t b) {
+    const std::size_t ca = rows[a].count(), cb = rows[b].count();
+    return ca != cb ? ca < cb : a < b;
+  });
+  std::vector<std::size_t> core;
+  for (const std::size_t i : order) {
+    const std::size_t ci = rows[i].count();
+    bool dominated = false;
+    for (const std::size_t j : core) {
+      const std::size_t cj = rows[j].count();
+      if (cj >= ci) break;  // core is popcount-ascending
+      if (rows[j].count_common_bits(rows[i]) == cj) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) core.push_back(i);
+  }
+  std::sort(core.begin(), core.end());
+  mc.core = std::move(core);
+  return mc;
+}
+
+}  // namespace dnnv::fault

@@ -1,0 +1,58 @@
+// Fault collapsing: shrink the universe before (and after) simulation.
+//
+// Two stages, mirroring classic ATPG flows:
+//  - collapse_structural(): drops faults that provably cannot change the
+//    executed model (stuck-at on a bit already at the stuck value,
+//    byte-writes of the current value, anything feeding a dead channel whose
+//    requant multiplier is 0) and merges code faults that produce the same
+//    faulted code on the same unit (structural equivalence).
+//  - analyze_matrix(): given the simulated fault×test detection matrix,
+//    groups faults no test distinguishes into equivalence classes and
+//    reduces class representatives under dominance (fault i is dominated by
+//    j when every test detecting j also detects i — covering j covers i for
+//    free), leaving the hard core that suite compaction must cover.
+#ifndef DNNV_FAULT_COLLAPSE_H_
+#define DNNV_FAULT_COLLAPSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "util/bitset.h"
+
+namespace dnnv::fault {
+
+struct CollapseStats {
+  std::size_t input = 0;
+  std::size_t kept = 0;
+  std::size_t dropped_noop = 0;        ///< cannot change the model
+  std::size_t dropped_equivalent = 0;  ///< same faulted code as a kept fault
+  std::size_t dropped_dead = 0;        ///< feeds a requant-dead channel
+};
+
+/// Structural (pre-simulation) collapse of `universe` against the clean
+/// model. Order-preserving; the kept list is deterministic.
+FaultUniverse collapse_structural(const FaultUniverse& universe,
+                                  const quant::QuantModel& model,
+                                  CollapseStats* stats = nullptr);
+
+/// Post-simulation collapse of a fault×test detection matrix.
+struct MatrixCollapse {
+  /// For each fault, the index of its equivalence-class representative (the
+  /// lowest-index fault with an identical detection row).
+  std::vector<std::size_t> representative;
+  std::size_t num_classes = 0;  ///< detected classes (undetected excluded)
+
+  /// Dominance-reduced core: detected class representatives whose rows are
+  /// minimal under strict subset — any suite covering the core covers every
+  /// detected fault. Ascending fault indices.
+  std::vector<std::size_t> core;
+
+  std::vector<std::size_t> undetected;  ///< faults with empty rows
+};
+
+MatrixCollapse analyze_matrix(const std::vector<DynamicBitset>& rows);
+
+}  // namespace dnnv::fault
+
+#endif  // DNNV_FAULT_COLLAPSE_H_

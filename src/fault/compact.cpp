@@ -1,0 +1,66 @@
+#include "fault/compact.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dnnv::fault {
+
+CompactionResult compact_tests(const std::vector<DynamicBitset>& rows,
+                               const std::vector<std::size_t>& targets,
+                               std::size_t num_tests) {
+  CompactionResult result;
+  result.original_tests = num_tests;
+  result.target_faults = targets.size();
+
+  // Transpose the target rows into per-test fault sets (one bit per target).
+  std::vector<DynamicBitset> per_test(num_tests, DynamicBitset(targets.size()));
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const DynamicBitset& row = rows[targets[t]];
+    DNNV_CHECK(row.size() == num_tests,
+               "detection row width " << row.size() << " != suite size "
+                                      << num_tests);
+    DNNV_CHECK(!row.none(), "compaction target " << targets[t]
+                                                 << " is undetected");
+    for (const std::size_t test : row.set_bits()) {
+      per_test[test].set(t);
+    }
+  }
+
+  DynamicBitset covered(targets.size());
+  while (covered.count() < targets.size()) {
+    std::size_t best_test = num_tests;
+    std::size_t best_gain = 0;
+    for (std::size_t test = 0; test < num_tests; ++test) {
+      const std::size_t gain = covered.count_new_bits(per_test[test]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_test = test;
+      }
+    }
+    DNNV_CHECK(best_gain > 0, "uncoverable compaction targets");
+    covered |= per_test[best_test];
+    result.kept_tests.push_back(static_cast<std::int64_t>(best_test));
+  }
+  std::sort(result.kept_tests.begin(), result.kept_tests.end());
+  result.covered_faults = covered.count();
+  return result;
+}
+
+validate::TestSuite compact_suite(const validate::TestSuite& suite,
+                                  const CompactionResult& compaction) {
+  std::vector<Tensor> inputs;
+  std::vector<int> labels;
+  inputs.reserve(compaction.kept_tests.size());
+  labels.reserve(compaction.kept_tests.size());
+  for (const std::int64_t test : compaction.kept_tests) {
+    DNNV_CHECK(test >= 0 && test < static_cast<std::int64_t>(suite.size()),
+               "kept test " << test << " outside the suite");
+    inputs.push_back(suite.inputs()[static_cast<std::size_t>(test)]);
+    labels.push_back(suite.golden_labels()[static_cast<std::size_t>(test)]);
+  }
+  return validate::TestSuite::from_labels(std::move(inputs),
+                                          std::move(labels));
+}
+
+}  // namespace dnnv::fault

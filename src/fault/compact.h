@@ -1,0 +1,51 @@
+// Greedy test-suite compaction driven by the fault detection matrix.
+//
+// After simulation + collapsing, every detected fault is covered exactly
+// when the dominance core is (equivalent faults share rows; dominated
+// faults' rows are supersets of a core row), so the set-cover instance is
+// tests × core. The greedy pass keeps the max-marginal-gain test each round
+// (ties: lowest test index, so the result is deterministic and respects the
+// suite's prefix-friendly ordering) and stops when the core is covered —
+// dropping every test that only detects dominated or already-covered
+// faults, at unchanged total detected-fault coverage.
+#ifndef DNNV_FAULT_COMPACT_H_
+#define DNNV_FAULT_COMPACT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitset.h"
+#include "validate/test_suite.h"
+
+namespace dnnv::fault {
+
+struct CompactionResult {
+  std::vector<std::int64_t> kept_tests;  ///< ascending original indices
+  std::size_t original_tests = 0;
+  std::size_t target_faults = 0;   ///< core faults to cover
+  std::size_t covered_faults = 0;  ///< == target_faults (every target is
+                                   ///< detected by construction)
+
+  double keep_ratio() const {
+    return original_tests == 0
+               ? 1.0
+               : static_cast<double>(kept_tests.size()) /
+                     static_cast<double>(original_tests);
+  }
+};
+
+/// Greedy set cover of `targets` (fault indices into `rows`) by tests.
+/// `rows` is the fault×test detection matrix; all target rows must be
+/// non-empty (pass the dominance core from analyze_matrix).
+CompactionResult compact_tests(const std::vector<DynamicBitset>& rows,
+                               const std::vector<std::size_t>& targets,
+                               std::size_t num_tests);
+
+/// Materializes the kept subset as a new suite (inputs + golden labels at
+/// the kept indices, original order preserved).
+validate::TestSuite compact_suite(const validate::TestSuite& suite,
+                                  const CompactionResult& compaction);
+
+}  // namespace dnnv::fault
+
+#endif  // DNNV_FAULT_COMPACT_H_

@@ -1,0 +1,37 @@
+#include "fault/qualify.h"
+
+namespace dnnv::fault {
+
+FaultQualification qualify_suite(const quant::QuantModel& model,
+                                 const validate::TestSuite& suite,
+                                 const QualifyOptions& options,
+                                 validate::TestSuite* compacted) {
+  FaultQualification q;
+  const FaultUniverse raw = FaultUniverse::enumerate(model, options.universe);
+  q.enumerated = static_cast<std::int64_t>(raw.size());
+  const FaultUniverse universe = collapse_structural(raw, model);
+  q.collapsed = static_cast<std::int64_t>(universe.size());
+  q.kept_tests = static_cast<std::int64_t>(suite.size());
+
+  FaultSimulator sim(model, suite);
+  SimOptions sim_options;
+  sim_options.mode = SimMode::kFullMatrix;
+  sim_options.backend = SimBackend::kInt8;
+  sim_options.pool = options.pool;
+  const SimResult result = sim.run_batched(universe, sim_options);
+  q.detected = static_cast<std::int64_t>(result.detected);
+
+  const MatrixCollapse mc = analyze_matrix(result.rows);
+  q.classes = static_cast<std::int64_t>(mc.num_classes);
+  q.core = static_cast<std::int64_t>(mc.core.size());
+
+  if (options.compact && compacted != nullptr) {
+    const CompactionResult compaction =
+        compact_tests(result.rows, mc.core, suite.size());
+    *compacted = compact_suite(suite, compaction);
+    q.kept_tests = static_cast<std::int64_t>(compaction.kept_tests.size());
+  }
+  return q;
+}
+
+}  // namespace dnnv::fault

@@ -53,4 +53,33 @@ void FaultInjector::revert(const MemoryFault& fault) {
   ip_.write_byte(fault.address, fault.previous);
 }
 
+std::vector<MemoryFault> FaultInjector::inject_all(
+    const std::vector<MemoryFault>& faults) {
+  std::vector<MemoryFault> injected;
+  injected.reserve(faults.size());
+  for (const MemoryFault& f : faults) {
+    switch (f.kind) {
+      case MemoryFault::Kind::kBitFlip:
+        injected.push_back(inject_bit_flip(f.address, f.bit));
+        break;
+      case MemoryFault::Kind::kStuckAt0:
+        injected.push_back(inject_stuck_at(f.address, f.bit, false));
+        break;
+      case MemoryFault::Kind::kStuckAt1:
+        injected.push_back(inject_stuck_at(f.address, f.bit, true));
+        break;
+      case MemoryFault::Kind::kByteWrite:
+        injected.push_back(inject_byte_write(f.address, f.value));
+        break;
+    }
+  }
+  return injected;
+}
+
+void FaultInjector::revert_all(const std::vector<MemoryFault>& injected) {
+  for (auto it = injected.rbegin(); it != injected.rend(); ++it) {
+    revert(*it);
+  }
+}
+
 }  // namespace dnnv::ip

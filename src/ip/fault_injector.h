@@ -41,6 +41,16 @@ class FaultInjector {
   /// Undoes one fault (restores the recorded previous byte).
   void revert(const MemoryFault& fault);
 
+  /// Campaign helper: injects `faults` in order (each record's `previous` is
+  /// filled at injection time) and returns the injected records. Pass the
+  /// result to revert_all — overlapping faults on the same byte only undo
+  /// cleanly in reverse injection order.
+  std::vector<MemoryFault> inject_all(const std::vector<MemoryFault>& faults);
+
+  /// Reverts a campaign in reverse injection order, so earlier faults'
+  /// `previous` bytes win over later overlapping ones.
+  void revert_all(const std::vector<MemoryFault>& injected);
+
  private:
   QuantizedIp& ip_;
 };

@@ -12,7 +12,9 @@ namespace {
 
 constexpr std::uint32_t kDeliverableMagic = 0x4C444E44;  // "DNDL"
 // v2: manifest carries the coverage-criterion name + config.
-constexpr std::uint32_t kDeliverableVersion = 2;
+// v3: manifest carries the fault-qualification provenance (universe preset,
+// effective UniverseConfig, scored/detected fault counts).
+constexpr std::uint32_t kDeliverableVersion = 3;
 
 }  // namespace
 
@@ -24,6 +26,10 @@ void Manifest::save(ByteWriter& writer) const {
   criterion_config.save(writer);
   writer.write_i64(num_tests);
   writer.write_f64(coverage);
+  writer.write_string(fault_model);
+  fault_config.save(writer);
+  writer.write_i64(fault_universe);
+  writer.write_i64(fault_detected);
 }
 
 Manifest Manifest::load(ByteReader& reader) {
@@ -35,6 +41,10 @@ Manifest Manifest::load(ByteReader& reader) {
   manifest.criterion_config = cov::CriterionConfig::load(reader);
   manifest.num_tests = reader.read_i64();
   manifest.coverage = reader.read_f64();
+  manifest.fault_model = reader.read_string();
+  manifest.fault_config = fault::UniverseConfig::load(reader);
+  manifest.fault_universe = reader.read_i64();
+  manifest.fault_detected = reader.read_i64();
   return manifest;
 }
 
@@ -44,6 +54,14 @@ std::string Manifest::summary() const {
      << "' tests qualified on '" << backend << "', '" << criterion
      << "' coverage " << std::fixed << std::setprecision(1)
      << coverage * 100.0 << "%";
+  if (!fault_model.empty()) {
+    const double rate =
+        fault_universe > 0 ? static_cast<double>(fault_detected) /
+                                 static_cast<double>(fault_universe)
+                           : 0.0;
+    os << ", detects " << std::fixed << std::setprecision(1) << rate * 100.0
+       << "% of " << fault_universe << " '" << fault_model << "' faults";
+  }
   return os.str();
 }
 
@@ -109,6 +127,17 @@ SuiteCoverage suite_coverage(const Deliverable& deliverable) {
     result.map.add(mask);
   }
   return result;
+}
+
+fault::FaultQualification fault_coverage(const Deliverable& deliverable) {
+  DNNV_CHECK(!deliverable.manifest.fault_model.empty(),
+             "deliverable was not fault-qualified (manifest has no fault "
+             "model)");
+  DNNV_CHECK(deliverable.has_quant,
+             "fault coverage needs the shipped int8 artifact");
+  fault::QualifyOptions options;
+  options.universe = deliverable.manifest.fault_config;
+  return fault::qualify_suite(deliverable.qmodel, deliverable.suite, options);
 }
 
 }  // namespace dnnv::pipeline

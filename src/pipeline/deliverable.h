@@ -14,6 +14,7 @@
 #include <string>
 
 #include "coverage/criterion.h"
+#include "fault/qualify.h"
 #include "nn/sequential.h"
 #include "quant/quant_model.h"
 #include "util/serialize.h"
@@ -34,6 +35,16 @@ struct Manifest {
   cov::CriterionConfig criterion_config;
   std::int64_t num_tests = 0;
   double coverage = 0.0;   ///< criterion coverage at generation time
+
+  /// Fault-qualification provenance (manifest v3). fault_model is the
+  /// universe preset the vendor scored under ("" = no fault stage); the
+  /// effective UniverseConfig ships alongside so the user side regenerates
+  /// the IDENTICAL fault list from the shipped artifact and re-measures the
+  /// detection numbers below.
+  std::string fault_model;
+  fault::UniverseConfig fault_config;
+  std::int64_t fault_universe = 0;  ///< collapsed universe size scored
+  std::int64_t fault_detected = 0;  ///< faults the shipped suite detects
 
   void save(ByteWriter& writer) const;
   static Manifest load(ByteReader& reader);
@@ -79,6 +90,14 @@ struct SuiteCoverage {
 /// under it. This is how UserValidator / ValidationService report what a
 /// received suite actually exercises, without the vendor's pool.
 SuiteCoverage suite_coverage(const Deliverable& deliverable);
+
+/// Re-runs the manifest's fault qualification on the user side: regenerates
+/// the universe from the shipped int8 artifact + UniverseConfig (bit-for-bit
+/// the vendor's list — enumeration is deterministic) and scores the bundled
+/// suite with the batched simulator. An intact bundle reproduces the
+/// manifest's fault_universe/fault_detected exactly; requires
+/// manifest.fault_model to be set.
+fault::FaultQualification fault_coverage(const Deliverable& deliverable);
 
 }  // namespace dnnv::pipeline
 

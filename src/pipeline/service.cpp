@@ -969,6 +969,14 @@ SuiteCoverage ValidationService::suite_coverage(
   return pipeline::suite_coverage(handle.deliverable());
 }
 
+fault::FaultQualification ValidationService::fault_coverage(
+    const DeliverableHandle& handle) const {
+  DNNV_CHECK(handle.valid(), "invalid deliverable handle");
+  // Same pinning argument as suite_coverage(): the handle keeps the bundle
+  // alive, and simulation only reads it.
+  return pipeline::fault_coverage(handle.deliverable());
+}
+
 ValidationService::Stats ValidationService::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->stats;

@@ -286,6 +286,13 @@ class ValidationService {
   /// is not involved.
   SuiteCoverage suite_coverage(const DeliverableHandle& handle) const;
 
+  /// Re-measures a registered deliverable's shipped fault coverage from its
+  /// manifest's fault model + UniverseConfig (see pipeline::fault_coverage).
+  /// Runs on the caller's thread; the batched simulator fans out over the
+  /// shared ThreadPool, not the scheduler.
+  fault::FaultQualification fault_coverage(const DeliverableHandle& handle)
+      const;
+
   Stats stats() const;
 
  private:

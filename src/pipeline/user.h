@@ -54,6 +54,14 @@ class UserValidator {
     return pipeline::suite_coverage(*deliverable_);
   }
 
+  /// Re-measures the shipped fault coverage: regenerates the manifest's
+  /// fault universe from the bundled int8 artifact and scores the bundled
+  /// suite (see pipeline::fault_coverage). An intact bundle reproduces the
+  /// manifest's fault_universe/fault_detected exactly.
+  fault::FaultQualification fault_coverage() const {
+    return pipeline::fault_coverage(*deliverable_);
+  }
+
   const Deliverable& deliverable() const { return *deliverable_; }
 
  private:

@@ -22,6 +22,17 @@ VendorPipeline::VendorPipeline(VendorOptions options)
   DNNV_CHECK(options_.backend == "float" || options_.backend == "int8",
              "unknown qualification backend '" << options_.backend
                                                << "' (float|int8)");
+  if (!options_.fault_model.empty()) {
+    DNNV_CHECK(options_.backend == "int8",
+               "fault qualification scores the integer artifact; it needs "
+               "backend == \"int8\" (got '"
+                   << options_.backend << "')");
+    fault::universe_config(options_.fault_model);  // throws on unknown preset
+  } else {
+    DNNV_CHECK(!options_.compact,
+               "suite compaction needs a fault model to compact against "
+               "(set fault_model)");
+  }
 }
 
 Deliverable VendorPipeline::run(const nn::Sequential& model,
@@ -99,6 +110,35 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
   std::vector<int> golden = backend->predict_clean(batch);
   deliverable.suite = validate::TestSuite::from_labels(inputs, golden);
 
+  // 4b. Fault qualification: score the suite against the structural fault
+  // universe of the shipped artifact (batched simulation, full matrix),
+  // optionally replacing the suite with its greedy compaction — fewer
+  // tests, same detected-fault set. The effective UniverseConfig ships in
+  // the manifest so the user side regenerates the identical universe and
+  // re-measures the same detection rate.
+  fault::FaultQualification fault_stats;
+  fault::UniverseConfig fault_config;
+  if (!options_.fault_model.empty()) {
+    fault_config = fault::universe_config(options_.fault_model);
+    fault_config.max_faults = options_.fault_budget;
+    fault::QualifyOptions qualify_options;
+    qualify_options.universe = fault_config;
+    qualify_options.compact = options_.compact;
+    validate::TestSuite compacted;
+    fault_stats = fault::qualify_suite(deliverable.qmodel, deliverable.suite,
+                                       qualify_options, &compacted);
+    if (options_.compact && compacted.size() < deliverable.suite.size()) {
+      deliverable.suite = std::move(compacted);
+      // The manifest's criterion coverage must describe the SHIPPED tests;
+      // re-sweep the kept subset under the same criterion.
+      accumulator = cov::CoverageAccumulator(criterion->total_points());
+      for (const auto& mask :
+           criterion->measure_pool(deliverable.suite.inputs())) {
+        accumulator.add(mask);
+      }
+    }
+  }
+
   // 5. Manifest. The criterion config ships EFFECTIVE (calibrated ranges
   // materialised), so the user side reconstructs the exact criterion.
   deliverable.manifest.model_name = options_.model_name;
@@ -107,8 +147,12 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
   deliverable.manifest.criterion = options_.criterion;
   deliverable.manifest.criterion_config = criterion->config();
   deliverable.manifest.num_tests =
-      static_cast<std::int64_t>(generation.tests.size());
+      static_cast<std::int64_t>(deliverable.suite.size());
   deliverable.manifest.coverage = accumulator.coverage();
+  deliverable.manifest.fault_model = options_.fault_model;
+  deliverable.manifest.fault_config = fault_config;
+  deliverable.manifest.fault_universe = fault_stats.collapsed;
+  deliverable.manifest.fault_detected = fault_stats.detected;
 
   if (report != nullptr) {
     report->coverage = accumulator.coverage();
@@ -126,6 +170,7 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
       report->kernel_config = quant::qgemm_config_string() +
                               " conv=" + quant::qconv_path_name();
     }
+    report->fault_stats = fault_stats;
     report->generation = std::move(generation);
   }
   return deliverable;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/qualify.h"
 #include "pipeline/deliverable.h"
 #include "quant/quantize.h"
 #include "testgen/generator.h"
@@ -35,6 +36,17 @@ struct VendorOptions {
   testgen::GeneratorConfig generator;
   /// Post-training-quantization config (backend == "int8").
   quant::QuantConfig quant;
+  /// Fault-qualification stage: universe preset name ("stuck-at" or "full");
+  /// empty = stage off. Requires backend == "int8" — the faults live in the
+  /// integer artifact. The effective UniverseConfig ships in the manifest so
+  /// the user side regenerates the identical universe.
+  std::string fault_model;
+  /// Deterministic even-thinning cap on the enumerated universe (0 = score
+  /// every fault; large models get sampled, small models are exhaustive).
+  std::int64_t fault_budget = 2048;
+  /// Greedily compact the suite over the dominance core before shipping:
+  /// fewer tests, identical detected-fault set (fault_model must be set).
+  bool compact = false;
   /// Recorded in the manifest.
   std::string model_name = "ip";
 };
@@ -53,6 +65,10 @@ struct VendorReport {
   /// under (backend == "int8"), so qualification logs are attributable to a
   /// micro-kernel the same way BENCH_*.json runs are.
   std::string kernel_config;
+  /// Fault-qualification stats (valid iff options.fault_model was set):
+  /// universe sizes, detection, dominance core, and the post-compaction
+  /// suite size.
+  fault::FaultQualification fault_stats;
 };
 
 /// Runs the full vendor release flow. Stateless apart from its options;

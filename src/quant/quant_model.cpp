@@ -216,89 +216,235 @@ QuantModel QuantModel::quantize(const nn::Sequential& model,
   return qm;
 }
 
-void QuantModel::refresh_derived() {
-  for (QLayer& q : layers_) {
-    if (q.kind == QLayerKind::kActivation) {
-      q.lut = build_activation_lut(q.activation, q.in_scale, q.out_scale);
-      continue;
-    }
-    if (q.kind != QLayerKind::kConv2d && q.kind != QLayerKind::kDense) continue;
-    const std::int64_t channels = weight_channels(q);
-    const std::int64_t fanin = weight_fanin(q);
-    if (q.kind == QLayerKind::kConv2d) {
-      // Pre-packed A panels for the fused conv path (re-built here so both
-      // fault injection on the codes and a runtime kernel switch take
-      // effect; the pack is tagged with the kernel layout it was built for).
-      q.wpack = pack_conv_weights(channels, fanin, q.weights.data());
-    }
-    if (q.kind == QLayerKind::kDense) {
-      q.weights_t.resize(static_cast<std::size_t>(fanin * channels));
-      for (std::int64_t c = 0; c < channels; ++c) {
-        for (std::int64_t i = 0; i < fanin; ++i) {
-          q.weights_t[static_cast<std::size_t>(i * channels + c)] =
-              q.weights[static_cast<std::size_t>(c * fanin + i)];
-        }
-      }
-    }
-    q.bias_i32.resize(static_cast<std::size_t>(channels));
-    q.requant.clear();
-    q.dequant_scales.clear();
+namespace {
+
+/// bias_i32 entry for one channel — the exact formula refresh uses, shared
+/// with poke_code so a single-channel patch is bit-identical to a rebuild.
+std::int32_t bias_i32_for(const QLayer& q, std::int64_t c) {
+  const double acc_scale =
+      static_cast<double>(q.in_scale) * static_cast<double>(wscale_for(q, c));
+  const double bias_real = static_cast<double>(q.bias_scale) *
+                           q.bias_codes[static_cast<std::size_t>(c)];
+  return static_cast<std::int32_t>(std::clamp<long long>(
+      std::llround(bias_real / acc_scale),
+      std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max()));
+}
+
+void refresh_layer_derived(QLayer& q) {
+  q.acc_channel = -1;
+  q.acc_or = 0;
+  q.acc_and = -1;
+  if (q.kind == QLayerKind::kActivation) {
+    q.lut = build_activation_lut(q.activation, q.in_scale, q.out_scale);
+    return;
+  }
+  if (q.kind != QLayerKind::kConv2d && q.kind != QLayerKind::kDense) return;
+  const std::int64_t channels = weight_channels(q);
+  const std::int64_t fanin = weight_fanin(q);
+  if (q.kind == QLayerKind::kConv2d) {
+    // Pre-packed A panels for the fused conv path (re-built here so both
+    // fault injection on the codes and a runtime kernel switch take
+    // effect; the pack is tagged with the kernel layout it was built for).
+    q.wpack = pack_conv_weights(channels, fanin, q.weights.data());
+  }
+  if (q.kind == QLayerKind::kDense) {
+    q.weights_t.resize(static_cast<std::size_t>(fanin * channels));
     for (std::int64_t c = 0; c < channels; ++c) {
-      // Accumulator grid: one unit == in_scale * wscale[c].
-      const double acc_scale =
-          static_cast<double>(q.in_scale) * static_cast<double>(wscale_for(q, c));
-      const double bias_real = static_cast<double>(q.bias_scale) *
-                               q.bias_codes[static_cast<std::size_t>(c)];
-      q.bias_i32[static_cast<std::size_t>(c)] =
-          static_cast<std::int32_t>(std::clamp<long long>(
-              std::llround(bias_real / acc_scale),
-              std::numeric_limits<std::int32_t>::min(),
-              std::numeric_limits<std::int32_t>::max()));
-      if (q.dequant_output) {
-        q.dequant_scales.push_back(static_cast<float>(acc_scale));
-      } else {
-        q.requant.push_back(
-            requant_from_real(acc_scale / static_cast<double>(q.out_scale)));
+      for (std::int64_t i = 0; i < fanin; ++i) {
+        q.weights_t[static_cast<std::size_t>(i * channels + c)] =
+            q.weights[static_cast<std::size_t>(c * fanin + i)];
       }
+    }
+  }
+  q.bias_i32.resize(static_cast<std::size_t>(channels));
+  q.requant.clear();
+  q.dequant_scales.clear();
+  for (std::int64_t c = 0; c < channels; ++c) {
+    // Accumulator grid: one unit == in_scale * wscale[c].
+    const double acc_scale =
+        static_cast<double>(q.in_scale) * static_cast<double>(wscale_for(q, c));
+    q.bias_i32[static_cast<std::size_t>(c)] = bias_i32_for(q, c);
+    if (q.dequant_output) {
+      q.dequant_scales.push_back(static_cast<float>(acc_scale));
+    } else {
+      q.requant.push_back(
+          requant_from_real(acc_scale / static_cast<double>(q.out_scale)));
     }
   }
 }
 
+}  // namespace
+
+void QuantModel::refresh_derived() {
+  for (QLayer& q : layers_) refresh_layer_derived(q);
+}
+
+void QuantModel::refresh_layer(std::size_t layer) {
+  DNNV_CHECK(layer < layers_.size(), "refresh_layer: bad layer " << layer);
+  refresh_layer_derived(layers_[layer]);
+}
+
+std::int8_t QuantModel::code_at(std::size_t layer, bool is_bias,
+                                std::int64_t index) const {
+  DNNV_CHECK(layer < layers_.size(), "code_at: bad layer " << layer);
+  const QLayer& q = layers_[layer];
+  DNNV_CHECK(q.kind == QLayerKind::kConv2d || q.kind == QLayerKind::kDense,
+             "code_at: layer " << layer << " carries no parameters");
+  const auto& codes = is_bias ? q.bias_codes : q.weights;
+  DNNV_CHECK(index >= 0 && index < static_cast<std::int64_t>(codes.size()),
+             "code_at: index " << index << " out of range");
+  return codes[static_cast<std::size_t>(index)];
+}
+
+std::int8_t QuantModel::poke_code(std::size_t layer, bool is_bias,
+                                  std::int64_t index, std::int8_t code) {
+  DNNV_CHECK(layer < layers_.size(), "poke_code: bad layer " << layer);
+  QLayer& q = layers_[layer];
+  DNNV_CHECK(q.kind == QLayerKind::kConv2d || q.kind == QLayerKind::kDense,
+             "poke_code: layer " << layer << " carries no parameters");
+  const std::int64_t channels = weight_channels(q);
+  const std::int64_t fanin = weight_fanin(q);
+  if (is_bias) {
+    DNNV_CHECK(index >= 0 && index < channels,
+               "poke_code: bias index " << index << " out of range");
+    const auto c = static_cast<std::size_t>(index);
+    const std::int8_t prev = q.bias_codes[c];
+    if (prev == code) return prev;
+    q.bias_codes[c] = code;
+    q.bias_i32[c] = bias_i32_for(q, index);
+    return prev;
+  }
+  DNNV_CHECK(index >= 0 && index < channels * fanin,
+             "poke_code: weight index " << index << " out of range");
+  const std::int8_t prev = q.weights[static_cast<std::size_t>(index)];
+  if (prev == code) return prev;
+  q.weights[static_cast<std::size_t>(index)] = code;
+  if (q.kind == QLayerKind::kDense) {
+    const std::int64_t c = index / fanin;
+    const std::int64_t i = index % fanin;
+    q.weights_t[static_cast<std::size_t>(i * channels + c)] = code;
+  } else {
+    // Panel layout is kernel-internal; re-pack the layer (still O(layer),
+    // not O(model) — the event-driven simulator's per-fault cost).
+    q.wpack = pack_conv_weights(channels, fanin, q.weights.data());
+  }
+  return prev;
+}
+
+std::int32_t QuantModel::requant_multiplier(std::size_t layer,
+                                            std::int64_t channel) const {
+  DNNV_CHECK(layer < layers_.size(), "requant_multiplier: bad layer");
+  const QLayer& q = layers_[layer];
+  DNNV_CHECK(channel >= 0 &&
+                 channel < static_cast<std::int64_t>(q.requant.size()),
+             "requant_multiplier: layer " << layer
+                                          << " has no requant channel "
+                                          << channel);
+  return q.requant[static_cast<std::size_t>(channel)].multiplier;
+}
+
+void QuantModel::set_requant_multiplier(std::size_t layer,
+                                        std::int64_t channel,
+                                        std::int32_t multiplier) {
+  DNNV_CHECK(layer < layers_.size(), "set_requant_multiplier: bad layer");
+  QLayer& q = layers_[layer];
+  DNNV_CHECK(channel >= 0 &&
+                 channel < static_cast<std::int64_t>(q.requant.size()),
+             "set_requant_multiplier: layer " << layer
+                                              << " has no requant channel "
+                                              << channel);
+  q.requant[static_cast<std::size_t>(channel)].multiplier = multiplier;
+}
+
+void QuantModel::set_acc_fault(std::size_t layer, std::int64_t channel,
+                               std::int32_t or_mask, std::int32_t and_mask) {
+  DNNV_CHECK(layer < layers_.size(), "set_acc_fault: bad layer " << layer);
+  QLayer& q = layers_[layer];
+  DNNV_CHECK(q.kind == QLayerKind::kConv2d || q.kind == QLayerKind::kDense,
+             "set_acc_fault: layer " << layer << " has no accumulator");
+  DNNV_CHECK(channel >= 0 && channel < weight_channels(q),
+             "set_acc_fault: channel " << channel << " out of range");
+  q.acc_channel = channel;
+  q.acc_or = or_mask;
+  q.acc_and = and_mask;
+}
+
+void QuantModel::clear_acc_fault(std::size_t layer) {
+  DNNV_CHECK(layer < layers_.size(), "clear_acc_fault: bad layer " << layer);
+  QLayer& q = layers_[layer];
+  q.acc_channel = -1;
+  q.acc_or = 0;
+  q.acc_and = -1;
+}
+
 const Tensor& QuantModel::forward(const Tensor& input, nn::Workspace& ws) {
-  return forward_impl(input, ws, nullptr);
+  DNNV_CHECK(input.shape().ndim() >= 2,
+             "expected a batched input, got " << input.shape());
+  std::vector<std::int64_t> dims(input.shape().dims().begin() + 1,
+                                 input.shape().dims().end());
+  return forward_impl(&input, 0, nullptr, std::move(dims), input.shape()[0],
+                      ws, nullptr, nullptr);
 }
 
 Tensor QuantModel::forward(const Tensor& input) {
   return forward(input, ws_);
 }
 
-const Tensor& QuantModel::forward_impl(
-    const Tensor& input, nn::Workspace& ws,
-    std::vector<std::pair<const std::int8_t*, std::int64_t>>* activations) {
-  DNNV_CHECK(!layers_.empty(), "forward on an unquantized QuantModel");
+const Tensor& QuantModel::forward_traced(const Tensor& input,
+                                         nn::Workspace& ws,
+                                         ForwardTrace& trace) {
   DNNV_CHECK(input.shape().ndim() >= 2,
              "expected a batched input, got " << input.shape());
-  const std::int64_t n = input.shape()[0];
   std::vector<std::int64_t> dims(input.shape().dims().begin() + 1,
                                  input.shape().dims().end());
+  trace.batch = input.shape()[0];
+  trace.entries.assign(layers_.size(), {});
+  return forward_impl(&input, 0, nullptr, std::move(dims), input.shape()[0],
+                      ws, &trace, nullptr);
+}
+
+const Tensor& QuantModel::forward_resume(const ForwardTrace& trace,
+                                         std::size_t first_layer,
+                                         nn::Workspace& ws) {
+  DNNV_CHECK(first_layer >= 1 && first_layer < layers_.size(),
+             "forward_resume: bad layer " << first_layer);
+  DNNV_CHECK(trace.entries.size() == layers_.size() &&
+                 trace.entries[first_layer].codes != nullptr,
+             "forward_resume: trace does not cover layer " << first_layer);
+  const ForwardTrace::Entry& entry = trace.entries[first_layer];
+  return forward_impl(nullptr, first_layer, entry.codes, entry.dims,
+                      trace.batch, ws, nullptr, nullptr);
+}
+
+const Tensor& QuantModel::forward_impl(
+    const Tensor* input, std::size_t first, const std::int8_t* cur,
+    std::vector<std::int64_t> dims, std::int64_t n, nn::Workspace& ws,
+    ForwardTrace* trace,
+    std::vector<std::pair<const std::int8_t*, std::int64_t>>* activations) {
+  DNNV_CHECK(!layers_.empty(), "forward on an unquantized QuantModel");
   auto item_numel = [&dims] {
     std::int64_t numel = 1;
     for (const auto d : dims) numel *= d;
     return numel;
   };
 
-  const std::int8_t* cur = nullptr;
   const Tensor* logits = nullptr;
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
+  for (std::size_t li = first; li < layers_.size(); ++li) {
+    if (trace && li > 0) {
+      trace->entries[li].codes = cur;
+      trace->entries[li].dims = dims;
+    }
     QLayer& q = layers_[li];  // non-const: fused conv may re-pack weights
     switch (q.kind) {
       case QLayerKind::kQuantize: {
         const std::int64_t count = n * item_numel();
-        DNNV_CHECK(count == input.numel(), "input size mismatch");
+        DNNV_CHECK(input != nullptr && count == input->numel(),
+                   "input size mismatch");
         auto& out = ws.i8_buffer(li, nn::kSlotOutput,
                                  static_cast<std::size_t>(count));
         const float inv = 1.0f / (q.input_norm_scale * q.out_scale);
-        const float* x = input.data();
+        const float* x = input->data();
         for (std::int64_t e = 0; e < count; ++e) {
           const long code = std::lround((x[e] - q.input_mean) * inv);
           out[static_cast<std::size_t>(e)] =
@@ -362,8 +508,19 @@ const Tensor& QuantModel::forward_impl(
             const std::int32_t bias = q.bias_i32[static_cast<std::size_t>(c)];
             const Requant rq = q.requant[static_cast<std::size_t>(c)];
             const std::int32_t* acc_row = acc.data() + c * plane;
-            for (std::int64_t p = 0; p < plane; ++p) {
-              dst[c * plane + p] = requantize(sat_add(acc_row[p], bias), rq);
+            if (q.acc_channel == c) {
+              // Armed accumulator stuck-at: masks hit the biased
+              // accumulator before requant (channel-level branch — the
+              // clean path never takes it).
+              for (std::int64_t p = 0; p < plane; ++p) {
+                const std::int32_t a =
+                    (sat_add(acc_row[p], bias) | q.acc_or) & q.acc_and;
+                dst[c * plane + p] = requantize(a, rq);
+              }
+            } else {
+              for (std::int64_t p = 0; p < plane; ++p) {
+                dst[c * plane + p] = requantize(sat_add(acc_row[p], bias), rq);
+              }
             }
           }
         }
@@ -377,30 +534,62 @@ const Tensor& QuantModel::forward_impl(
                                   static_cast<std::size_t>(n * q.out_features));
         qgemm(n, q.out_features, q.in_features, cur, q.weights_t.data(),
               acc.data());
+        // Armed accumulator fault: hoisted flag keeps the clean row loops
+        // untouched; the faulted variants mask the armed channel's biased
+        // accumulator before dequant/requant.
+        const bool acc_fault = q.acc_channel >= 0;
         if (q.dequant_output) {
           Tensor& out = ws.buffer(li, nn::kSlotOutput,
                                   Shape{std::vector<std::int64_t>{
                                       n, q.out_features}});
-          for (std::int64_t row = 0; row < n; ++row) {
-            for (std::int64_t c = 0; c < q.out_features; ++c) {
-              const std::int32_t a =
-                  sat_add(acc[static_cast<std::size_t>(row * q.out_features + c)],
-                          q.bias_i32[static_cast<std::size_t>(c)]);
-              out[row * q.out_features + c] =
-                  static_cast<float>(a) *
-                  q.dequant_scales[static_cast<std::size_t>(c)];
+          if (acc_fault) {
+            for (std::int64_t row = 0; row < n; ++row) {
+              for (std::int64_t c = 0; c < q.out_features; ++c) {
+                std::int32_t a = sat_add(
+                    acc[static_cast<std::size_t>(row * q.out_features + c)],
+                    q.bias_i32[static_cast<std::size_t>(c)]);
+                if (c == q.acc_channel) a = (a | q.acc_or) & q.acc_and;
+                out[row * q.out_features + c] =
+                    static_cast<float>(a) *
+                    q.dequant_scales[static_cast<std::size_t>(c)];
+              }
+            }
+          } else {
+            for (std::int64_t row = 0; row < n; ++row) {
+              for (std::int64_t c = 0; c < q.out_features; ++c) {
+                const std::int32_t a = sat_add(
+                    acc[static_cast<std::size_t>(row * q.out_features + c)],
+                    q.bias_i32[static_cast<std::size_t>(c)]);
+                out[row * q.out_features + c] =
+                    static_cast<float>(a) *
+                    q.dequant_scales[static_cast<std::size_t>(c)];
+              }
             }
           }
           logits = &out;
         } else {
           auto& out = ws.i8_buffer(li, nn::kSlotOutput,
                                    static_cast<std::size_t>(n * q.out_features));
-          for (std::int64_t row = 0; row < n; ++row) {
-            for (std::int64_t c = 0; c < q.out_features; ++c) {
-              const auto e = static_cast<std::size_t>(row * q.out_features + c);
-              out[e] = requantize(
-                  sat_add(acc[e], q.bias_i32[static_cast<std::size_t>(c)]),
-                  q.requant[static_cast<std::size_t>(c)]);
+          if (acc_fault) {
+            for (std::int64_t row = 0; row < n; ++row) {
+              for (std::int64_t c = 0; c < q.out_features; ++c) {
+                const auto e =
+                    static_cast<std::size_t>(row * q.out_features + c);
+                std::int32_t a = sat_add(
+                    acc[e], q.bias_i32[static_cast<std::size_t>(c)]);
+                if (c == q.acc_channel) a = (a | q.acc_or) & q.acc_and;
+                out[e] = requantize(a, q.requant[static_cast<std::size_t>(c)]);
+              }
+            }
+          } else {
+            for (std::int64_t row = 0; row < n; ++row) {
+              for (std::int64_t c = 0; c < q.out_features; ++c) {
+                const auto e =
+                    static_cast<std::size_t>(row * q.out_features + c);
+                out[e] = requantize(
+                    sat_add(acc[e], q.bias_i32[static_cast<std::size_t>(c)]),
+                    q.requant[static_cast<std::size_t>(c)]);
+              }
             }
           }
           dims = {q.out_features};
@@ -462,7 +651,12 @@ std::vector<int> QuantModel::predict_labels(const Tensor& batch) {
 std::vector<DynamicBitset> QuantModel::activation_masks_int8(
     const Tensor& batch, nn::Workspace& ws) {
   std::vector<std::pair<const std::int8_t*, std::int64_t>> sites;
-  forward_impl(batch, ws, &sites);
+  DNNV_CHECK(batch.shape().ndim() >= 2,
+             "expected a batched input, got " << batch.shape());
+  std::vector<std::int64_t> item_dims(batch.shape().dims().begin() + 1,
+                                      batch.shape().dims().end());
+  forward_impl(&batch, 0, nullptr, std::move(item_dims), batch.shape()[0], ws,
+               nullptr, &sites);
   const std::int64_t n = batch.shape()[0];
   std::int64_t total = 0;
   for (const auto& [ptr, size] : sites) total += size;

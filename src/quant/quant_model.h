@@ -73,6 +73,14 @@ struct QLayer {
   std::vector<Requant> requant;         ///< per out channel
   std::vector<float> dequant_scales;    ///< logit layer: in_scale * wscale[c]
   std::array<std::int8_t, 256> lut{};   ///< kActivation
+
+  // Accumulator stuck-at fault surface (set via QuantModel::set_acc_fault):
+  // the biased int32 accumulator of channel acc_channel is OR-ed with acc_or
+  // then AND-ed with acc_and before requant/dequant. Cleared by
+  // refresh_derived(); the clean path pays nothing (channel-level branch).
+  std::int64_t acc_channel = -1;
+  std::int32_t acc_or = 0;
+  std::int32_t acc_and = -1;
 };
 
 /// Mutable view of one quantized parameter tensor's codes — the
@@ -118,6 +126,32 @@ class QuantModel {
   /// argmax labels for a batched input.
   std::vector<int> predict_labels(const Tensor& batch);
 
+  /// Cached per-layer inputs of one clean forward — the replay surface of
+  /// event-driven fault simulation. Entry li holds the int8 codes feeding
+  /// layer li (entry 0 is unused: layer 0 consumes the float input).
+  /// Pointers alias buffers inside the Workspace the trace was recorded
+  /// with; they stay valid until that workspace runs another forward.
+  struct ForwardTrace {
+    struct Entry {
+      const std::int8_t* codes = nullptr;  ///< [batch * item_numel] codes
+      std::vector<std::int64_t> dims;      ///< per-item dims at layer entry
+    };
+    std::int64_t batch = 0;
+    std::vector<Entry> entries;
+  };
+
+  /// forward() that also records the per-layer input trace into `trace`.
+  const Tensor& forward_traced(const Tensor& input, nn::Workspace& ws,
+                               ForwardTrace& trace);
+
+  /// Re-runs layers [first_layer, end) from a recorded clean trace — the
+  /// faulted suffix of an event-driven fault simulation. Layers before
+  /// first_layer are untouched, so a fault localized at first_layer yields
+  /// logits bit-identical to a full forward on the faulted model. `ws` must
+  /// be a different workspace than the one the trace lives in.
+  const Tensor& forward_resume(const ForwardTrace& trace,
+                               std::size_t first_layer, nn::Workspace& ws);
+
   /// Per-item activation masks measured on the EXECUTED int8 model: one bit
   /// per activation-layer output unit, set iff its int8 code is non-zero
   /// (|value| >= out_scale/2 — the int8 grid's own activation criterion).
@@ -153,8 +187,51 @@ class QuantModel {
   /// Total number of parameter codes (== the float model's param_count()).
   std::int64_t param_count() const;
 
-  /// Rebuilds every derived buffer from the canonical codes/scales.
+  /// Rebuilds every derived buffer from the canonical codes/scales. Also
+  /// clears any injected requant/accumulator faults (derived state is
+  /// restored pristine).
   void refresh_derived();
+
+  /// Single-layer refresh_derived() — rebuilds only layer `layer`.
+  void refresh_layer(std::size_t layer);
+
+  // ---- Point fault surface (src/fault/ uses these) ----
+  // poke_code / set_requant_multiplier / set_acc_fault patch exactly the
+  // derived state that depends on the touched value, so applying and
+  // reverting one fault costs O(layer) instead of O(model) — and the next
+  // forward is bit-identical to a full refresh_derived() rebuild.
+
+  /// Reads one weight (is_bias=false) or bias (is_bias=true) code of a
+  /// conv/dense layer; `index` is the flat offset within that tensor.
+  std::int8_t code_at(std::size_t layer, bool is_bias,
+                      std::int64_t index) const;
+
+  /// Writes one parameter code and patches the dependent derived state
+  /// (dense: one weights_t entry; conv: re-packs that layer's panels; bias:
+  /// recomputes that channel's bias_i32). Returns the previous code.
+  std::int8_t poke_code(std::size_t layer, bool is_bias, std::int64_t index,
+                        std::int8_t code);
+
+  /// The Q31 requant multiplier of one output channel (requantizing
+  /// conv/dense layers only).
+  std::int32_t requant_multiplier(std::size_t layer,
+                                  std::int64_t channel) const;
+
+  /// Overwrites one channel's requant multiplier — the per-channel
+  /// requant-corruption fault surface. refresh_derived()/refresh_layer()
+  /// restore the calibrated value.
+  void set_requant_multiplier(std::size_t layer, std::int64_t channel,
+                              std::int32_t multiplier);
+
+  /// Arms an accumulator stuck-at fault: channel `channel` of layer
+  /// `layer`'s biased accumulator is OR-ed with or_mask then AND-ed with
+  /// and_mask before requant/dequant (stuck-at-1 bit b: or_mask = 1<<b;
+  /// stuck-at-0: and_mask = ~(1<<b)). One armed channel per layer.
+  void set_acc_fault(std::size_t layer, std::int64_t channel,
+                     std::int32_t or_mask, std::int32_t and_mask);
+
+  /// Disarms the accumulator fault on `layer`.
+  void clear_acc_fault(std::size_t layer);
 
   /// Re-quantizes weights and biases from (a perturbed copy of) the float
   /// model while KEEPING the calibrated activation scales — the deployment
@@ -182,7 +259,13 @@ class QuantModel {
   std::string summary() const;
 
  private:
-  const Tensor& forward_impl(const Tensor& input, nn::Workspace& ws,
+  /// Runs layers [first, end). For first == 0, `input` supplies the float
+  /// batch; for a resume, `cur`/`dims`/`n` describe the cached int8 input of
+  /// layer `first`. Records the per-layer input trace when `trace` is set.
+  const Tensor& forward_impl(const Tensor* input, std::size_t first,
+                             const std::int8_t* cur,
+                             std::vector<std::int64_t> dims, std::int64_t n,
+                             nn::Workspace& ws, ForwardTrace* trace,
                              std::vector<std::pair<const std::int8_t*,
                                                    std::int64_t>>* activations);
 

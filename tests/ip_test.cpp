@@ -222,6 +222,58 @@ TEST(FaultInjectorTest, StuckAtSemantics) {
   EXPECT_EQ(ip.read_byte(5), 0xFE);
 }
 
+TEST(FaultInjectorTest, CampaignRevertsOverlappingFaultsInReverse) {
+  Sequential model = trained_net();
+  QuantizedIp ip(model, Shape{6});
+  FaultInjector injector(ip);
+  std::vector<std::uint8_t> snapshot;
+  for (std::size_t a = 0; a < ip.memory_size(); ++a) {
+    snapshot.push_back(ip.read_byte(a));
+  }
+
+  // Three faults pile onto byte 5 (byte-write, then stuck-at / flip on the
+  // faulted value) plus one elsewhere. Each record's `previous` is the byte
+  // AFTER the earlier faults, so only the reverse revert restores memory.
+  const auto written = static_cast<std::uint8_t>(~snapshot[5]);
+  std::vector<MemoryFault> campaign(4);
+  campaign[0].kind = MemoryFault::Kind::kByteWrite;
+  campaign[0].address = 5;
+  campaign[0].value = written;
+  campaign[1].kind = MemoryFault::Kind::kStuckAt1;
+  campaign[1].address = 5;
+  campaign[1].bit = 1;
+  campaign[2].kind = MemoryFault::Kind::kBitFlip;
+  campaign[2].address = 5;
+  campaign[2].bit = 7;
+  campaign[3].kind = MemoryFault::Kind::kStuckAt0;
+  campaign[3].address = 0;
+  campaign[3].bit = 7;
+
+  const std::vector<MemoryFault> injected = injector.inject_all(campaign);
+  ASSERT_EQ(injected.size(), 4u);
+  EXPECT_EQ(injected[0].previous, snapshot[5]);
+  EXPECT_EQ(injected[1].previous, written);
+  EXPECT_EQ(injected[2].previous,
+            static_cast<std::uint8_t>(written | 0x02));
+  EXPECT_EQ(ip.read_byte(5),
+            static_cast<std::uint8_t>((written | 0x02) ^ 0x80));
+
+  injector.revert_all(injected);
+  for (std::size_t a = 0; a < ip.memory_size(); ++a) {
+    EXPECT_EQ(ip.read_byte(a), snapshot[a]);
+  }
+
+  // Forward-order revert leaves the intermediate state behind on byte 5 —
+  // the reason revert_all walks the records back to front.
+  const std::vector<MemoryFault> again = injector.inject_all(campaign);
+  for (const MemoryFault& fault : again) injector.revert(fault);
+  EXPECT_NE(ip.read_byte(5), snapshot[5]);
+  ip.write_byte(5, snapshot[5]);
+  for (std::size_t a = 0; a < ip.memory_size(); ++a) {
+    EXPECT_EQ(ip.read_byte(a), snapshot[a]);
+  }
+}
+
 TEST(FaultInjectorTest, SignBitFlipIsLargePerturbation) {
   // Flipping bit 7 of a two's complement int8 moves the weight by 128 quanta
   // — the most damaging single-bit fault, mirroring published bit-flip
