@@ -1,9 +1,11 @@
 // bench_fault_sim — batched fault simulation vs the sequential
 // inject→predict→revert loop, on both zoo models.
 //
-// For each model: quantize, generate a functional suite, enumerate +
-// structurally collapse the stuck-at fault universe, then score the whole
-// suite against the whole universe twice — run_sequential (one QuantizedIp,
+// For each model: quantize, generate a functional suite, enumerate the
+// stuck-at fault universe, statically prune the provably untestable faults
+// (analysis::classify_universe — every pruned fault is also simulated once
+// and REQUIRED undetected, the soundness contract), structurally collapse
+// the remainder, then score the whole suite against the whole universe twice — run_sequential (one QuantizedIp,
 // ip::FaultInjector byte faults, full derived-state rebuild per fault) and
 // run_batched (one clean traced forward, O(layer) point faults, resume from
 // the fault site). The two fault×test matrices are REQUIRED to be
@@ -26,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/range_analysis.h"
+#include "analysis/testability.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "fault/collapse.h"
@@ -47,6 +51,9 @@ using Clock = std::chrono::steady_clock;
 struct ModelRun {
   std::string name;
   std::size_t enumerated = 0;
+  std::size_t untestable = 0;
+  double static_prune_pct = 0.0;
+  double prune_ms = 0.0;
   std::size_t scored = 0;
   std::size_t tests = 0;
   double seq_ms = 0.0;
@@ -138,16 +145,42 @@ int main(int argc, char** argv) {
       const auto suite = validate::TestSuite::from_labels(inputs, golden);
       run.tests = suite.size();
 
-      // Stuck-at universe, structurally collapsed.
+      // Stuck-at universe: static testability prune (interval analysis),
+      // then structural collapse of the possibly-testable remainder — the
+      // same staging qualify_suite runs.
       fault::UniverseConfig config = fault::universe_config("stuck-at");
       config.max_faults = budget;
       const auto raw = fault::FaultUniverse::enumerate(qmodel, config);
-      const auto universe = fault::collapse_structural(raw, qmodel);
       run.enumerated = raw.size();
+      auto t_prune = Clock::now();
+      const auto range = analysis::analyze_ranges(qmodel);
+      const auto report = analysis::classify_universe(qmodel, range, raw);
+      const auto possibly = analysis::prune_untestable(raw, report);
+      run.prune_ms = ms_since(t_prune);
+      run.untestable = report.untestable;
+      run.static_prune_pct =
+          raw.empty() ? 0.0
+                      : 100.0 * static_cast<double>(report.untestable) /
+                            static_cast<double>(raw.size());
+      const auto universe = fault::collapse_structural(possibly, qmodel);
       run.scored = universe.size();
+      fault::FaultUniverse pruned_set;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (report.is_untestable(i)) pruned_set.add(raw[i]);
+      }
 
       fault::FaultSimulator sim(qmodel, suite);
       fault::SimOptions sim_options;  // full matrix, int8, shared pool
+
+      // Soundness cross-check, enforced like the bit-identity contract:
+      // every statically pruned fault must be undetected when simulated.
+      if (!pruned_set.empty()) {
+        const fault::SimResult check = sim.run_batched(pruned_set, sim_options);
+        DNNV_CHECK(check.detected == 0,
+                   run.name << ": " << check.detected
+                            << " statically pruned fault(s) detected by "
+                               "simulation — prune is UNSOUND");
+      }
 
       // Best-of-reps wall time for both loops; results must agree on EVERY
       // repetition (correctness is not sampled).
@@ -202,15 +235,21 @@ int main(int argc, char** argv) {
                          100.0 * run.detection_rate, "%", true});
       metrics.push_back({run.name + "_compact_drop_pct", run.compact_drop_pct,
                          "%", true});
+      metrics.push_back({run.name + "_static_prune_pct", run.static_prune_pct,
+                         "%", true});
+      metrics.push_back(
+          {run.name + "_pruned_sim_ms", run.batched_ms, "ms", false});
     }
 
-    TablePrinter table({"model", "faults (raw)", "tests", "seq ms",
-                        "batched ms", "speedup", "detected", "core",
+    TablePrinter table({"model", "faults (raw)", "untestable", "tests",
+                        "seq ms", "batched ms", "speedup", "detected", "core",
                         "kept tests", "compact drop"});
     for (const ModelRun& run : runs) {
       table.add_row({run.name,
                      std::to_string(run.scored) + " (" +
                          std::to_string(run.enumerated) + ")",
+                     std::to_string(run.untestable) + " (" +
+                         format_double(run.static_prune_pct, 1) + "%)",
                      std::to_string(run.tests), format_double(run.seq_ms, 1),
                      format_double(run.batched_ms, 1),
                      format_double(run.speedup, 2) + "x",

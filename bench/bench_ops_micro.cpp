@@ -1,7 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: GEMM, conv
 // forward/backward, the two coverage passes, and bitset set algebra.
+//
+// On top of google-benchmark's own flags (--benchmark_filter,
+// --benchmark_min_time, ...) this main speaks the repo's BENCH_*.json
+// schema: --json [path|family] snapshots one metric per benchmark
+// (items/sec where the benchmark reports it, ns/iteration otherwise) and
+// --baseline path / --max-regress pct diff this run against a committed
+// snapshot with the same per-host family rules as every other bench.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
 #include "coverage/parameter_coverage.h"
 #include "nn/builder.h"
 #include "nn/loss.h"
@@ -124,6 +138,93 @@ void BM_BitsetMarginalGain(benchmark::State& state) {
 }
 BENCHMARK(BM_BitsetMarginalGain)->Arg(55042)->Arg(280218);
 
+/// ConsoleReporter that also collects one BenchMetric per benchmark run:
+/// "BM_Gemm/128" -> {"BM_Gemm_128_items_per_s", ...} when the benchmark
+/// reports items processed, {"BM_Gemm_128_ns_per_iter", ...} otherwise.
+class MetricCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/' || c == ':' || c == '=') c = '_';
+      }
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        metrics.push_back(
+            {name + "_items_per_s", items->second.value, "items/s", true});
+      } else if (run.iterations > 0) {
+        metrics.push_back({name + "_ns_per_iter",
+                           run.real_accumulated_time * 1e9 /
+                               static_cast<double>(run.iterations),
+                           "ns", false});
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<dnnv::bench::BenchMetric> metrics;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Partition argv: the BENCH_*.json flags are ours, everything else passes
+  // through to google-benchmark untouched.
+  bool has_json = false;
+  bool has_baseline = false;
+  std::string json_value;
+  std::string baseline_value;
+  double max_regress = 25.0;
+  std::vector<char*> bm_argv{argv[0]};
+  const auto value_of = [&](int& i) -> std::string {
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      return argv[++i];
+    }
+    return "";
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      has_json = true;
+      json_value = value_of(i);
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      has_baseline = true;
+      baseline_value = value_of(i);
+    } else if (std::strcmp(argv[i], "--max-regress") == 0) {
+      const std::string v = value_of(i);
+      if (!v.empty()) max_regress = std::stod(v);
+    } else {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 1;
+  }
+
+  MetricCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (has_json) {
+    const std::string path =
+        dnnv::bench::resolve_json_out("ops_micro", json_value);
+    dnnv::bench::write_bench_json(path, "ops_micro", {}, reporter.metrics);
+  }
+  if (has_baseline) {
+    const std::string baseline =
+        dnnv::bench::resolve_baseline_arg("ops_micro", baseline_value);
+    std::cout << "\ndiff vs " << baseline << " (max regression " << max_regress
+              << "%):\n";
+    const int regressions = dnnv::bench::diff_against_baseline(
+        reporter.metrics, baseline, max_regress);
+    if (regressions > 0) {
+      std::cerr << regressions << " metric(s) regressed beyond " << max_regress
+                << "%\n";
+      return 1;
+    }
+  }
+  return 0;
+}

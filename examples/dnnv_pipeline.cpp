@@ -46,6 +46,20 @@
 // detect no fault the kept ones miss. The user side re-measures the shipped
 // fault coverage automatically when the manifest carries a fault model.
 //
+// Static analysis (--analyze): quantize the chosen zoo model and print the
+// interval range analysis (per-layer accumulator/code ranges, dead and
+// overflow-capable channels), the IR-verifier findings, and the static
+// fault-testability summary for the chosen universe preset:
+//
+//   dnnv_pipeline --analyze [--model mnist|cifar] [--tiny]
+//                 [--fault-universe stuck-at|full] [--fault-budget 2048]
+//
+// Lint (--lint): load a deliverable WITHOUT the load-time verification gate
+// and print every typed finding; exit 0 = clean (warnings allowed), 3 =
+// errors:
+//
+//   dnnv_pipeline --lint --in deliverable.bin [--key 12345]
+//
 // --list prints the registered generation methods, --list-coverage the
 // registered coverage criteria, --list-faults the collapsed fault universe
 // of the chosen (quantized) zoo model; all exit.
@@ -58,6 +72,9 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/range_analysis.h"
+#include "analysis/testability.h"
+#include "analysis/verifier.h"
 #include "bench/bench_common.h"
 #include "exp/model_zoo.h"
 #include "fault/collapse.h"
@@ -136,7 +153,9 @@ int run_vendor(const CliArgs& args) {
     const auto& fs = report.fault_stats;
     std::cout << "\nfault universe '" << options.fault_model << "': "
               << fs.enumerated << " enumerated, " << fs.collapsed
-              << " scored, " << fs.detected << " detected ("
+              << " collapsed, " << fs.untestable
+              << " statically untestable, " << fs.scored << " scored, "
+              << fs.detected << " detected ("
               << format_percent(fs.detection_rate()) << "), dominance core "
               << fs.core;
     if (options.compact) {
@@ -178,6 +197,79 @@ int run_list_faults(const CliArgs& args) {
   return 0;
 }
 
+int run_analyze(const CliArgs& args) {
+  const std::string which = args.get_string("model", "cifar");
+  exp::ZooOptions zoo;
+  zoo.tiny = args.get_bool("tiny", false);
+  const auto trained =
+      which == "mnist" ? exp::mnist_tanh(zoo) : exp::cifar_relu(zoo);
+  const auto pool_size = static_cast<std::int64_t>(args.get_int("pool", 300));
+  const auto pool = which == "mnist" ? exp::digits_train(pool_size)
+                                     : exp::shapes_train(pool_size);
+  const auto qmodel = quant::QuantModel::quantize(
+      trained.model, pool.images, quant::QuantConfig{});
+
+  const auto range = analysis::analyze_ranges(qmodel);
+  std::cout << trained.name << " static range analysis\n  "
+            << qmodel.summary() << "\n";
+  const auto& layers = qmodel.layers();
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const auto& lr = range.layers[li];
+    if (lr.acc.empty()) continue;
+    analysis::Interval acc = lr.acc.front();
+    analysis::Interval out = lr.out.front();
+    std::size_t dead = 0;
+    std::size_t overflow = 0;
+    for (std::size_t c = 0; c < lr.acc.size(); ++c) {
+      acc.lo = std::min(acc.lo, lr.acc[c].lo);
+      acc.hi = std::max(acc.hi, lr.acc[c].hi);
+      out.lo = std::min(out.lo, lr.out[c].lo);
+      out.hi = std::max(out.hi, lr.out[c].hi);
+      dead += lr.out[c] == analysis::Interval{0, 0} ? 1u : 0u;
+      overflow += lr.overflow[c];
+    }
+    std::cout << "  L" << li << " " << layers[li].name << ": acc [" << acc.lo
+              << ", " << acc.hi << "], out [" << out.lo << ", " << out.hi
+              << "], " << dead << "/" << lr.acc.size() << " dead, "
+              << overflow << " overflow-capable\n";
+  }
+  std::cout << "channels: " << range.dead_channels << " dead, "
+            << range.overflow_channels << " overflow-capable, "
+            << range.saturable_channels << " bias-saturable\n";
+
+  const auto findings = analysis::verify_model(qmodel);
+  std::cout << "verifier: " << findings.size() << " finding(s)\n";
+  for (const auto& finding : findings) {
+    std::cout << "  " << finding.format() << "\n";
+  }
+
+  // Classify the raw enumerated universe: the prune runs before structural
+  // collapse in qualify_suite, so this is the same set it sees.
+  fault::UniverseConfig config = fault::universe_config(fault_preset(args));
+  config.max_faults = args.get_int("fault-budget", 2048);
+  const auto universe = fault::FaultUniverse::enumerate(qmodel, config);
+  const auto report = analysis::classify_universe(qmodel, range, universe);
+  std::cout << "static testability [" << config.summary()
+            << "]: " << report.summary(universe.size()) << "\n";
+  return 0;
+}
+
+int run_lint(const CliArgs& args) {
+  const std::string in = args.get_string("in", "deliverable.bin");
+  const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
+  const auto bundle = pipeline::Deliverable::load_file(in, key,
+                                                       /*verify=*/false);
+  const auto findings = analysis::verify_deliverable(bundle);
+  std::cout << "lint " << in << " (" << bundle.manifest.summary() << "): "
+            << findings.size() << " finding(s)\n";
+  for (const auto& finding : findings) {
+    std::cout << "  " << finding.format() << "\n";
+  }
+  const bool errors = analysis::has_errors(findings);
+  std::cout << (errors ? "FAIL" : "OK") << "\n";
+  return errors ? 3 : 0;
+}
+
 int run_user(const CliArgs& args) {
   const std::string in = args.get_string("in", "deliverable.bin");
   const auto key = static_cast<std::uint64_t>(args.get_int("key", 12345));
@@ -206,8 +298,9 @@ int run_user(const CliArgs& args) {
   if (!manifest.fault_model.empty()) {
     const auto fault = validator.fault_coverage();
     std::cout << "fault coverage re-measured: " << fault.detected << "/"
-              << fault.collapsed << " '" << manifest.fault_model
-              << "' faults detected ("
+              << fault.scored << " '" << manifest.fault_model
+              << "' faults detected (" << fault.untestable
+              << " statically pruned; "
               << format_percent(fault.detection_rate()) << "; manifest says "
               << manifest.fault_detected << "/" << manifest.fault_universe
               << ")\n";
@@ -397,7 +490,7 @@ int main(int argc, char** argv) {
                         "stream", "serve-tcp", "validate-tcp", "host", "port",
                         "max-connections", "idle-timeout", "preload",
                         "fault-universe", "fault-budget", "compact",
-                        "list-faults"});
+                        "list-faults", "analyze", "lint"});
     if (args.get_bool("list", false)) {
       std::cout << "registered generation methods:\n";
       for (const auto& name : testgen::generator_names()) {
@@ -413,6 +506,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.get_bool("list-faults", false)) return run_list_faults(args);
+    if (args.get_bool("analyze", false)) return run_analyze(args);
+    if (args.get_bool("lint", false)) return run_lint(args);
     if (args.get_bool("serve-tcp", false)) return run_serve_tcp(args);
     if (args.get_bool("validate-tcp", false)) return run_validate_tcp(args);
     if (args.get_bool("serve", false)) return run_serve(args);

@@ -1,0 +1,182 @@
+#include "analysis/range_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "quant/quantize.h"
+#include "util/error.h"
+
+namespace dnnv::analysis {
+namespace {
+
+constexpr std::int64_t kI32Min = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kI32Max = std::numeric_limits<std::int32_t>::max();
+
+std::int64_t sat32(std::int64_t v) { return std::clamp(v, kI32Min, kI32Max); }
+
+/// Quantize-layer output interval. The engine clamps every code into
+/// [-127, 127], so that is the unconditional answer; a declared float input
+/// domain tightens it through the exact rounding the engine uses.
+Interval quantize_interval(const quant::QLayer& q,
+                           const RangeOptions& options) {
+  Interval out{quant::kQmin, quant::kQmax};
+  if (!options.assume_input_domain) return out;
+  const double inv = 1.0 / (static_cast<double>(q.input_norm_scale) *
+                            static_cast<double>(q.out_scale));
+  const double a =
+      (static_cast<double>(options.input_lo) - q.input_mean) * inv;
+  const double b =
+      (static_cast<double>(options.input_hi) - q.input_mean) * inv;
+  const std::int64_t ca =
+      std::clamp<std::int64_t>(std::llround(std::min(a, b)),
+                               quant::kQmin, quant::kQmax);
+  const std::int64_t cb =
+      std::clamp<std::int64_t>(std::llround(std::max(a, b)),
+                               quant::kQmin, quant::kQmax);
+  return Interval{ca, cb};
+}
+
+}  // namespace
+
+Interval tap_interval(const quant::QLayer& q, const std::vector<Interval>& in,
+                      std::int64_t tap) {
+  DNNV_CHECK(!in.empty(), "tap_interval: layer '" << q.name
+                                                  << "' has no input state");
+  std::size_t entry = 0;
+  if (in.size() > 1) {
+    std::int64_t ic = 0;
+    if (q.kind == quant::QLayerKind::kConv2d) {
+      ic = tap / (q.kernel * q.kernel);
+    } else {
+      // Dense over a flattened feature map: features of one source channel
+      // are contiguous, in.size() channels cover in_features evenly.
+      const std::int64_t group =
+          q.in_features / static_cast<std::int64_t>(in.size());
+      ic = group > 0 ? tap / group : 0;
+    }
+    entry = static_cast<std::size_t>(
+        std::clamp<std::int64_t>(ic, 0,
+                                 static_cast<std::int64_t>(in.size()) - 1));
+  }
+  Interval x = in[entry];
+  if (q.kind == quant::QLayerKind::kConv2d && q.pad > 0) {
+    // Padded positions feed code 0 into the tap.
+    x.lo = std::min<std::int64_t>(x.lo, 0);
+    x.hi = std::max<std::int64_t>(x.hi, 0);
+  }
+  return x;
+}
+
+Interval lut_image(const std::array<std::int8_t, 256>& lut,
+                   const Interval& codes) {
+  const std::int64_t lo = std::clamp<std::int64_t>(codes.lo, -128, 127);
+  const std::int64_t hi = std::clamp<std::int64_t>(codes.hi, -128, 127);
+  Interval image{127, -128};
+  for (std::int64_t c = lo; c <= hi; ++c) {
+    const std::int8_t v =
+        lut[static_cast<std::uint8_t>(static_cast<std::int8_t>(c))];
+    image.lo = std::min<std::int64_t>(image.lo, v);
+    image.hi = std::max<std::int64_t>(image.hi, v);
+  }
+  return image;
+}
+
+ModelRange analyze_ranges(const quant::QuantModel& model,
+                          const RangeOptions& options) {
+  const std::vector<quant::QLayer>& layers = model.layers();
+  ModelRange mr;
+  mr.layers.resize(layers.size());
+
+  // Current per-channel code interval flowing between layers (size 1 ==
+  // shared by every channel).
+  std::vector<Interval> cur;
+
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const quant::QLayer& q = layers[li];
+    LayerRange& lr = mr.layers[li];
+    lr.kind = q.kind;
+    lr.in = cur;
+
+    switch (q.kind) {
+      case quant::QLayerKind::kQuantize:
+        cur.assign(1, quantize_interval(q, options));
+        lr.out = cur;
+        break;
+
+      case quant::QLayerKind::kConv2d:
+      case quant::QLayerKind::kDense: {
+        const std::int64_t channels = quant::weight_channels(q);
+        const std::int64_t fanin = quant::weight_fanin(q);
+        const std::size_t nch = static_cast<std::size_t>(channels);
+        lr.acc.resize(nch);
+        lr.overflow.assign(nch, 0);
+        lr.out.resize(nch);
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const std::size_t sc = static_cast<std::size_t>(c);
+          // Raw int32 gemm sum bounds on the exact int64 grid.
+          std::int64_t lo = 0;
+          std::int64_t hi = 0;
+          for (std::int64_t i = 0; i < fanin; ++i) {
+            const std::int64_t w =
+                q.weights[static_cast<std::size_t>(c * fanin + i)];
+            if (w == 0) continue;
+            const Interval x = tap_interval(q, lr.in, i);
+            lo += std::min(w * x.lo, w * x.hi);
+            hi += std::max(w * x.lo, w * x.hi);
+          }
+          const std::int64_t bias =
+              q.bias_i32.empty() ? 0 : q.bias_i32[sc];
+          if (lo < kI32Min || hi > kI32Max) {
+            // The raw sum lives in a plain int32 accumulator and can wrap;
+            // after wrapping any int32 value is possible — widen and make no
+            // finer claim for this channel.
+            lr.overflow[sc] = 1;
+            ++mr.overflow_channels;
+            lr.acc[sc] = Interval{kI32Min, kI32Max};
+          } else {
+            // sat_add clamps the biased sum into int32; keep the
+            // pre-saturation interval (requant consumers apply sat32).
+            lr.acc[sc] = Interval{lo + bias, hi + bias};
+            if (lr.acc[sc].lo < kI32Min || lr.acc[sc].hi > kI32Max) {
+              ++mr.saturable_channels;
+            }
+          }
+          if (q.dequant_output) {
+            lr.out[sc] =
+                Interval{sat32(lr.acc[sc].lo), sat32(lr.acc[sc].hi)};
+          } else {
+            const quant::Requant rq = q.requant[sc];
+            // requantize is monotone nondecreasing in the accumulator
+            // (multiplier >= 0), so the image of an interval is exactly the
+            // interval between its endpoint images.
+            lr.out[sc] = Interval{
+                quant::requantize(static_cast<std::int32_t>(
+                                      sat32(lr.acc[sc].lo)), rq),
+                quant::requantize(static_cast<std::int32_t>(
+                                      sat32(lr.acc[sc].hi)), rq)};
+            if (lr.out[sc] == Interval{0, 0}) ++mr.dead_channels;
+          }
+        }
+        cur = lr.out;
+        break;
+      }
+
+      case quant::QLayerKind::kActivation: {
+        for (Interval& x : cur) x = lut_image(q.lut, x);
+        lr.out = cur;
+        break;
+      }
+
+      case quant::QLayerKind::kMaxPool:
+      case quant::QLayerKind::kFlatten:
+        // Value-preserving per channel: max over a window of an interval
+        // stays inside the interval; flatten is shape-only.
+        lr.out = cur;
+        break;
+    }
+  }
+  return mr;
+}
+
+}  // namespace dnnv::analysis

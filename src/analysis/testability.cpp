@@ -1,0 +1,264 @@
+#include "analysis/testability.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "quant/quantize.h"
+
+namespace dnnv::analysis {
+namespace {
+
+constexpr std::int64_t kI32Min = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kI32Max = std::numeric_limits<std::int32_t>::max();
+
+std::int64_t sat32(std::int64_t v) { return std::clamp(v, kI32Min, kI32Max); }
+
+std::int8_t rq_of(std::int64_t biased_acc, const quant::Requant& rq) {
+  return quant::requantize(static_cast<std::int32_t>(sat32(biased_acc)), rq);
+}
+
+/// True iff the first activation LUT downstream of `layer` (crossing only
+/// value-preserving maxpool/flatten layers) maps every code of `codes` to
+/// one single value — then a fault whose effect on its channel stays inside
+/// `codes` leaves the post-activation tensor, and everything after it,
+/// bit-identical to the clean run.
+bool activation_collapses(const quant::QuantModel& model, std::size_t layer,
+                          const Interval& codes) {
+  const std::vector<quant::QLayer>& layers = model.layers();
+  for (std::size_t li = layer + 1; li < layers.size(); ++li) {
+    const quant::QLayer& q = layers[li];
+    if (q.kind == quant::QLayerKind::kMaxPool ||
+        q.kind == quant::QLayerKind::kFlatten) {
+      continue;
+    }
+    if (q.kind != quant::QLayerKind::kActivation) return false;
+    return lut_image(q.lut, codes).singleton();
+  }
+  return false;
+}
+
+Interval hull(const Interval& a, const Interval& b) {
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Requant-then-maybe-activation masking for a fault confined to `channel`:
+/// clean biased accumulators live in T, faulted ones in T shifted by
+/// [delta.lo, delta.hi] (an interval containing 0). Proves either that every
+/// reachable accumulator requantizes identically under the whole shift band,
+/// or that the downstream LUT collapses both ranges to one constant.
+UntestableReason masked_after_shift(const quant::QuantModel& model,
+                                    const quant::QLayer& q, std::size_t layer,
+                                    std::int64_t channel, const Interval& T,
+                                    const Interval& delta) {
+  const quant::Requant rq = q.requant[static_cast<std::size_t>(channel)];
+  const auto g_lo = [&](std::int64_t t) -> int { return rq_of(t + delta.lo, rq); };
+  const auto g_hi = [&](std::int64_t t) -> int { return rq_of(t + delta.hi, rq); };
+  // rq_of is monotone nondecreasing in the shift as well, so g_lo == g_hi on
+  // T pins every intermediate shift — including 0 (clean) and the actual
+  // per-input fault effect — to the same code.
+  if (equal_on_interval(g_lo, g_hi, T.lo, T.hi)) {
+    return UntestableReason::kRequantMasked;
+  }
+  const Interval clean{rq_of(T.lo, rq), rq_of(T.hi, rq)};
+  const Interval faulted{rq_of(T.lo + delta.lo, rq), rq_of(T.hi + delta.hi, rq)};
+  if (activation_collapses(model, layer, hull(clean, faulted))) {
+    return UntestableReason::kActivationMasked;
+  }
+  return UntestableReason::kTestable;
+}
+
+UntestableReason classify_fault(const quant::QuantModel& model,
+                                const ModelRange& range,
+                                const fault::Fault& f) {
+  const quant::QLayer& q = model.layers()[f.layer];
+  if (q.kind != quant::QLayerKind::kConv2d &&
+      q.kind != quant::QLayerKind::kDense) {
+    return UntestableReason::kTestable;
+  }
+  const LayerRange& lr = range.layers[f.layer];
+  const std::int64_t fanin = quant::weight_fanin(q);
+  const std::int64_t channel = fault::is_code_fault(f.kind) && !f.is_bias
+                                   ? f.unit / fanin
+                                   : f.unit;
+  if (channel < 0 || channel >= static_cast<std::int64_t>(lr.acc.size())) {
+    return UntestableReason::kTestable;
+  }
+  const std::size_t sc = static_cast<std::size_t>(channel);
+  const Interval T = lr.acc[sc];
+
+  if (fault::is_code_fault(f.kind)) {
+    // Effect on the biased accumulator, as an interval containing 0.
+    Interval delta{0, 0};
+    if (f.is_bias != 0) {
+      const std::int8_t prev = q.bias_codes[static_cast<std::size_t>(f.unit)];
+      const std::int8_t next = fault::faulted_code(prev, f);
+      const std::int64_t d =
+          static_cast<std::int64_t>(quant::bias_code_to_i32(q, channel, next)) -
+          static_cast<std::int64_t>(q.bias_i32[sc]);
+      delta = Interval{std::min<std::int64_t>(d, 0),
+                       std::max<std::int64_t>(d, 0)};
+    } else {
+      const std::int8_t prev = q.weights[static_cast<std::size_t>(f.unit)];
+      const std::int8_t next = fault::faulted_code(prev, f);
+      const std::int64_t dw =
+          static_cast<std::int64_t>(next) - static_cast<std::int64_t>(prev);
+      if (dw == 0) return UntestableReason::kNoExcitation;
+      const Interval x = tap_interval(q, lr.in, f.unit % fanin);
+      const std::int64_t d1 = dw * x.lo;
+      const std::int64_t d2 = dw * x.hi;
+      delta = Interval{std::min({d1, d2, std::int64_t{0}}),
+                       std::max({d1, d2, std::int64_t{0}})};
+    }
+    if (delta.lo == 0 && delta.hi == 0) return UntestableReason::kNoExcitation;
+    // Past this point the proofs model the faulted accumulator as T + delta;
+    // that needs both the clean and the faulted raw gemm sum inside int32
+    // (a wrapped sum is an arbitrary value the shift argument cannot track).
+    if (lr.overflow[sc] != 0) return UntestableReason::kTestable;
+    const std::int64_t bias = q.bias_i32[sc];
+    if (T.lo - bias + delta.lo < kI32Min || T.hi - bias + delta.hi > kI32Max) {
+      return UntestableReason::kTestable;
+    }
+    if (q.dequant_output) return UntestableReason::kTestable;
+    return masked_after_shift(model, q, f.layer, channel, T, delta);
+  }
+
+  if (f.kind == fault::FaultKind::kRequantMult) {
+    if (q.dequant_output) return UntestableReason::kTestable;
+    const quant::Requant rq1 = q.requant[sc];
+    quant::Requant rq2 = rq1;
+    rq2.multiplier = rq1.multiplier ^ (std::int32_t{1} << f.bit);
+    const auto f1 = [&](std::int64_t t) -> int { return rq_of(t, rq1); };
+    const auto f2 = [&](std::int64_t t) -> int { return rq_of(t, rq2); };
+    // Both multipliers are non-negative (bits 0..30), so both curves are
+    // monotone and the segment walk is an exact equality decision over T.
+    if (equal_on_interval(f1, f2, T.lo, T.hi)) {
+      return UntestableReason::kRequantMasked;
+    }
+    const Interval clean{f1(T.lo), f1(T.hi)};
+    const Interval faulted{f2(T.lo), f2(T.hi)};
+    if (activation_collapses(model, f.layer, hull(clean, faulted))) {
+      return UntestableReason::kActivationMasked;
+    }
+    return UntestableReason::kTestable;
+  }
+
+  if (f.kind == fault::FaultKind::kAccStuckAt0 ||
+      f.kind == fault::FaultKind::kAccStuckAt1) {
+    const bool stuck1 = f.kind == fault::FaultKind::kAccStuckAt1;
+    // The armed fault masks the POST-saturation int32 accumulator.
+    const Interval a{sat32(T.lo), sat32(T.hi)};
+    const int bit = f.bit;
+    if ((a.lo >> bit) == (a.hi >> bit)) {
+      // Bits [bit, 31] are constant across the interval, so bit `bit` is
+      // too; a bit already at its stuck value never changes anything.
+      const bool bit_set = ((a.lo >> bit) & 1) != 0;
+      if (bit_set == stuck1) return UntestableReason::kNoExcitation;
+    }
+    if (q.dequant_output) return UntestableReason::kTestable;
+    // Hull of the faulted values over a in [a.lo, a.hi].
+    Interval faulted_acc{};
+    if (bit < 31) {
+      const std::int64_t mask = std::int64_t{1} << bit;
+      faulted_acc = stuck1 ? Interval{a.lo, a.hi + mask}
+                           : Interval{a.lo - mask, a.hi};
+    } else {
+      // Sign bit: piecewise over the sign of a.
+      const std::int64_t two31 = std::int64_t{1} << 31;
+      std::int64_t flo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t fhi = std::numeric_limits<std::int64_t>::min();
+      const auto merge = [&](std::int64_t lo2, std::int64_t hi2) {
+        flo = std::min(flo, lo2);
+        fhi = std::max(fhi, hi2);
+      };
+      if (stuck1) {  // a < 0 unchanged; a >= 0 -> a - 2^31
+        if (a.lo < 0) merge(a.lo, std::min<std::int64_t>(a.hi, -1));
+        if (a.hi >= 0) {
+          merge(std::max<std::int64_t>(a.lo, 0) - two31, a.hi - two31);
+        }
+      } else {  // a >= 0 unchanged; a < 0 -> a + 2^31
+        if (a.hi >= 0) merge(std::max<std::int64_t>(a.lo, 0), a.hi);
+        if (a.lo < 0) {
+          merge(a.lo + two31, std::min<std::int64_t>(a.hi, -1) + two31);
+        }
+      }
+      faulted_acc = Interval{flo, fhi};
+    }
+    const quant::Requant rq = q.requant[sc];
+    const Interval u = hull(a, faulted_acc);
+    // Single-bit masking is not monotone in a, so no pointwise walk here:
+    // prove the requant curve constant over everything either run can see.
+    if (rq_of(u.lo, rq) == rq_of(u.hi, rq)) {
+      return UntestableReason::kRequantMasked;
+    }
+    const Interval clean{rq_of(a.lo, rq), rq_of(a.hi, rq)};
+    const Interval faulted{rq_of(faulted_acc.lo, rq),
+                           rq_of(faulted_acc.hi, rq)};
+    if (activation_collapses(model, f.layer, hull(clean, faulted))) {
+      return UntestableReason::kActivationMasked;
+    }
+    return UntestableReason::kTestable;
+  }
+
+  return UntestableReason::kTestable;
+}
+
+}  // namespace
+
+const char* to_string(UntestableReason reason) {
+  switch (reason) {
+    case UntestableReason::kTestable: return "testable";
+    case UntestableReason::kNoExcitation: return "no-excitation";
+    case UntestableReason::kRequantMasked: return "requant-masked";
+    case UntestableReason::kActivationMasked: return "activation-masked";
+  }
+  return "?";
+}
+
+std::string TestabilityReport::summary(std::size_t universe_size) const {
+  std::ostringstream os;
+  const double pct =
+      universe_size == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(untestable) /
+                static_cast<double>(universe_size);
+  os << "untestable " << untestable << "/" << universe_size << " ("
+     << std::fixed << std::setprecision(1) << pct << "%): " << no_excitation
+     << " no-excitation, " << requant_masked << " requant-masked, "
+     << activation_masked << " activation-masked";
+  return os.str();
+}
+
+TestabilityReport classify_universe(const quant::QuantModel& model,
+                                    const ModelRange& range,
+                                    const fault::FaultUniverse& universe) {
+  TestabilityReport report;
+  report.reasons.reserve(universe.size());
+  for (const fault::Fault& f : universe.faults()) {
+    const UntestableReason reason = classify_fault(model, range, f);
+    report.reasons.push_back(reason);
+    switch (reason) {
+      case UntestableReason::kTestable: break;
+      case UntestableReason::kNoExcitation: ++report.no_excitation; break;
+      case UntestableReason::kRequantMasked: ++report.requant_masked; break;
+      case UntestableReason::kActivationMasked:
+        ++report.activation_masked;
+        break;
+    }
+  }
+  report.untestable =
+      report.no_excitation + report.requant_masked + report.activation_masked;
+  return report;
+}
+
+fault::FaultUniverse prune_untestable(const fault::FaultUniverse& universe,
+                                      const TestabilityReport& report) {
+  fault::FaultUniverse pruned;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (!report.is_untestable(i)) pruned.add(universe[i]);
+  }
+  return pruned;
+}
+
+}  // namespace dnnv::analysis

@@ -1,0 +1,75 @@
+// IR verifier / linter for the quantized model and the release bundle.
+//
+// Structural well-formedness diagnostics with typed findings: every rule
+// has a stable kebab-case id, a severity, and a location string. Errors mean
+// the artifact violates an invariant the engine or the vendor/user contract
+// relies on (corrupted derived state, impossible geometry, manifest that
+// disagrees with the bundle); warnings flag hazards the range analysis can
+// refine (wrap-capable accumulators, saturating biases); infos surface
+// facts useful when reading an --analyze report (dead channels).
+//
+// Wired as a pre-qualification gate in VendorPipeline::run, a load-time
+// check in Deliverable::load_file (hence UserValidator and
+// ValidationService), and the `dnnv_pipeline --lint` mode.
+#ifndef DNNV_ANALYSIS_VERIFIER_H_
+#define DNNV_ANALYSIS_VERIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "quant/quant_model.h"
+
+namespace dnnv::pipeline {
+class Deliverable;
+}
+
+namespace dnnv::analysis {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* to_string(Severity severity);
+
+/// One diagnostic. `rule` ids are stable across releases (tests and CI grep
+/// for them); `location` is "L<layer> <name>" for layer findings, "manifest"
+/// / "suite" for bundle findings.
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string rule;
+  std::string location;
+  std::string message;
+
+  /// "error[requant-multiplier-range] L2 dense1: ..." one-liner.
+  std::string format() const;
+};
+
+/// Structural checks over a layer vector (works on corrupted copies — the
+/// seeded-corruption tests use this directly). `num_classes` of 0 skips the
+/// logit-width rule.
+std::vector<Finding> verify_layers(const std::vector<quant::QLayer>& layers,
+                                   int num_classes);
+
+/// verify_layers + interval-analysis findings (accumulator wrap hazards,
+/// statically-dead channels) on a live model.
+std::vector<Finding> verify_model(const quant::QuantModel& model);
+
+/// Bundle-level checks: manifest-vs-model agreement, suite label domain,
+/// plus verify_model when an int8 artifact is shipped.
+std::vector<Finding> verify_deliverable(const pipeline::Deliverable& bundle);
+
+bool has_errors(const std::vector<Finding>& findings);
+std::size_t count_severity(const std::vector<Finding>& findings,
+                           Severity severity);
+
+/// Throws dnnv::Error listing every error finding; no-op when none. `what`
+/// names the gate ("vendor pre-qualification", "deliverable load").
+void require_valid(const std::vector<Finding>& findings,
+                   const std::string& what);
+
+}  // namespace dnnv::analysis
+
+#endif  // DNNV_ANALYSIS_VERIFIER_H_

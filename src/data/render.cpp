@@ -121,11 +121,13 @@ std::vector<float> value_noise(int height, int width, int octaves, Rng& rng) {
     std::vector<float> grid(static_cast<std::size_t>(gh) * gw);
     for (auto& g : grid) g = static_cast<float>(rng.uniform());
     for (int y = 0; y < height; ++y) {
-      const float fy = static_cast<float>(y) / static_cast<float>(height) * cells;
+      const float fy = static_cast<float>(y) / static_cast<float>(height) *
+                       static_cast<float>(cells);
       const int y0 = static_cast<int>(fy);
       const float ty = fy - static_cast<float>(y0);
       for (int x = 0; x < width; ++x) {
-        const float fx = static_cast<float>(x) / static_cast<float>(width) * cells;
+        const float fx = static_cast<float>(x) / static_cast<float>(width) *
+                         static_cast<float>(cells);
         const int x0 = static_cast<int>(fx);
         const float tx = fx - static_cast<float>(x0);
         const float v00 = grid[y0 * gw + x0];

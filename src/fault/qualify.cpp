@@ -1,5 +1,8 @@
 #include "fault/qualify.h"
 
+#include "analysis/range_analysis.h"
+#include "analysis/testability.h"
+
 namespace dnnv::fault {
 
 FaultQualification qualify_suite(const quant::QuantModel& model,
@@ -7,10 +10,23 @@ FaultQualification qualify_suite(const quant::QuantModel& model,
                                  const QualifyOptions& options,
                                  validate::TestSuite* compacted) {
   FaultQualification q;
-  const FaultUniverse raw = FaultUniverse::enumerate(model, options.universe);
-  q.enumerated = static_cast<std::int64_t>(raw.size());
-  const FaultUniverse universe = collapse_structural(raw, model);
+  FaultUniverse universe = FaultUniverse::enumerate(model, options.universe);
+  q.enumerated = static_cast<std::int64_t>(universe.size());
+  if (options.static_prune) {
+    // Static ATPG stage, BEFORE structural collapse: every enumerated fault
+    // gets an untestability proof attempt (no-excitation, requant-masked,
+    // activation-masked over the interval analysis), and the proven ones
+    // never reach collapse or simulation. The structural pass then only
+    // dedups equivalents among the possibly-testable remainder.
+    const analysis::ModelRange range = analysis::analyze_ranges(model);
+    const analysis::TestabilityReport report =
+        analysis::classify_universe(model, range, universe);
+    universe = analysis::prune_untestable(universe, report);
+    q.untestable = static_cast<std::int64_t>(report.untestable);
+  }
+  universe = collapse_structural(universe, model);
   q.collapsed = static_cast<std::int64_t>(universe.size());
+  q.scored = static_cast<std::int64_t>(universe.size());
   q.kept_tests = static_cast<std::int64_t>(suite.size());
 
   FaultSimulator sim(model, suite);

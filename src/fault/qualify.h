@@ -20,15 +20,17 @@ namespace dnnv::fault {
 
 struct FaultQualification {
   std::int64_t enumerated = 0;  ///< raw universe size
-  std::int64_t collapsed = 0;   ///< after structural collapse (the scored set)
+  std::int64_t untestable = 0;  ///< statically proven undetectable, pruned
+  std::int64_t collapsed = 0;   ///< after static prune + structural collapse
+  std::int64_t scored = 0;      ///< == collapsed (the simulated set)
   std::int64_t detected = 0;    ///< faults the suite detects
   std::int64_t classes = 0;     ///< detected equivalence classes
   std::int64_t core = 0;        ///< dominance core size
   std::int64_t kept_tests = 0;  ///< suite size after (optional) compaction
 
   double detection_rate() const {
-    return collapsed > 0
-               ? static_cast<double>(detected) / static_cast<double>(collapsed)
+    return scored > 0
+               ? static_cast<double>(detected) / static_cast<double>(scored)
                : 0.0;
   }
 };
@@ -36,6 +38,12 @@ struct FaultQualification {
 struct QualifyOptions {
   UniverseConfig universe;
   bool compact = false;        ///< greedily compact the suite over the core
+  /// Run analysis::classify_universe first and exclude the statically
+  /// untestable faults from simulation. Pruning is sound (untestable =>
+  /// logits bit-identical to clean on every input), so detection counts are
+  /// unchanged; both sides of the product flow prune deterministically, so
+  /// vendor and user still score the identical fault list.
+  bool static_prune = true;
   ThreadPool* pool = nullptr;  ///< simulation fan-out; nullptr = shared
 };
 

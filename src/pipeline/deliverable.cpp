@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/verifier.h"
 #include "util/error.h"
 #include "util/protected_file.h"
 
@@ -93,16 +94,28 @@ void Deliverable::save_file(const std::string& path, std::uint64_t key) const {
                        kDeliverableVersion, "deliverable");
 }
 
-Deliverable Deliverable::load_file(const std::string& path, std::uint64_t key) {
+Deliverable Deliverable::load_file(const std::string& path, std::uint64_t key,
+                                   bool verify) {
   ByteReader payload(read_protected_file(path, key, kDeliverableMagic,
                                          kDeliverableVersion, "deliverable"));
   // The CRC already passed, so parse failures past this point mean the
   // keystream decoded garbage — i.e. the key is wrong, not the file.
+  Deliverable deliverable;
   try {
-    return load(payload);
+    deliverable = load(payload);
   } catch (const Error& error) {
     DNNV_THROW("deliverable rejected — wrong key? (" << error.what() << ")");
   }
+  // The CRC protects the bytes in transit; the IR verifier protects the
+  // SEMANTICS — a bundle that parses but violates engine invariants (bad
+  // multipliers, stale LUTs, manifest/model disagreement) is rejected before
+  // any validation runs on it. `verify = false` is the lint path: callers
+  // that want the findings rather than an exception.
+  if (verify) {
+    analysis::require_valid(analysis::verify_deliverable(deliverable),
+                            "deliverable load");
+  }
+  return deliverable;
 }
 
 SuiteCoverage suite_coverage(const Deliverable& deliverable) {

@@ -70,9 +70,13 @@ class Deliverable {
   /// obfuscated payload and writes one file.
   void save_file(const std::string& path, std::uint64_t key) const;
 
-  /// Verifies magic/version/CRC, de-obfuscates and parses; throws
-  /// dnnv::Error on corruption, truncation or a wrong key.
-  static Deliverable load_file(const std::string& path, std::uint64_t key);
+  /// Verifies magic/version/CRC, de-obfuscates, parses, and (by default)
+  /// runs the IR verifier over the parsed bundle; throws dnnv::Error on
+  /// corruption, truncation, a wrong key, or verifier errors. `verify =
+  /// false` skips the semantic gate — the --lint path, which wants the
+  /// findings list instead of an exception.
+  static Deliverable load_file(const std::string& path, std::uint64_t key,
+                               bool verify = true);
 };
 
 /// Per-criterion coverage of a shipped suite, re-measured on the user side.

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/verifier.h"
 #include "ip/device_pool.h"
 #include "ip/quantized_ip.h"
 #include "ip/reference_ip.h"
@@ -293,6 +294,10 @@ DeliverableHandle ServiceImpl::adopt(Deliverable deliverable,
                                      const std::string& id) {
   auto bundle = std::make_shared<const Deliverable>(std::move(deliverable));
   DNNV_CHECK(!bundle->suite.empty(), "deliverable carries no tests");
+  // In-memory bundles bypass Deliverable::load_file, so run the same
+  // semantic gate here before the registry starts serving sessions from it.
+  analysis::require_valid(analysis::verify_deliverable(*bundle),
+                          "service adopt");
   std::lock_guard<std::mutex> lock(mutex);
   DNNV_CHECK(!stopping, "adopt on a stopped ValidationService");
   ++stats.loads;

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/verifier.h"
 #include "coverage/criterion.h"
 #include "quant/qconv.h"
 #include "quant/qgemm.h"
@@ -49,6 +50,10 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
     deliverable.qmodel =
         quant::QuantModel::quantize(model, pool, options_.quant);
     deliverable.has_quant = true;
+    // Pre-qualification IR gate: refuse to generate against, qualify, or
+    // ship a malformed quantized artifact.
+    analysis::require_valid(analysis::verify_model(deliverable.qmodel),
+                            "vendor pre-qualification");
   }
 
   // 2. Build the named coverage criterion the run selects and is measured
@@ -151,10 +156,17 @@ Deliverable VendorPipeline::run(const nn::Sequential& model,
   deliverable.manifest.coverage = accumulator.coverage();
   deliverable.manifest.fault_model = options_.fault_model;
   deliverable.manifest.fault_config = fault_config;
-  deliverable.manifest.fault_universe = fault_stats.collapsed;
+  deliverable.manifest.fault_universe = fault_stats.scored;
   deliverable.manifest.fault_detected = fault_stats.detected;
 
+  // Ship gate: the exact bundle a user will load must verify clean
+  // (manifest-vs-model agreement included).
+  const std::vector<analysis::Finding> findings =
+      analysis::verify_deliverable(deliverable);
+  analysis::require_valid(findings, "vendor ship gate");
+
   if (report != nullptr) {
+    report->findings = findings;
     report->coverage = accumulator.coverage();
     report->covered = accumulator.covered();
     report->golden = std::move(golden);

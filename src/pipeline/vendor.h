@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "fault/qualify.h"
 #include "pipeline/deliverable.h"
 #include "quant/quantize.h"
@@ -66,9 +67,12 @@ struct VendorReport {
   /// micro-kernel the same way BENCH_*.json runs are.
   std::string kernel_config;
   /// Fault-qualification stats (valid iff options.fault_model was set):
-  /// universe sizes, detection, dominance core, and the post-compaction
-  /// suite size.
+  /// universe sizes, static prune, detection, dominance core, and the
+  /// post-compaction suite size.
   fault::FaultQualification fault_stats;
+  /// IR-verifier findings on the shipped bundle (warnings/infos only —
+  /// errors abort the run at the pre-qualification or ship gate).
+  std::vector<analysis::Finding> findings;
 };
 
 /// Runs the full vendor release flow. Stateless apart from its options;

@@ -22,13 +22,6 @@
 #include "util/rng.h"
 
 namespace dnnv::quant {
-namespace {
-
-constexpr std::uint32_t kQuantMagic = 0x384D5144;  // "DQM8"
-constexpr std::uint32_t kQuantVersion = 1;
-/// Per-layer allowance for the float32 arithmetic of the reference forward
-/// (the bound compares exact integer execution against a float32 baseline).
-constexpr double kFloatSlack = 1e-5;
 
 float wscale_for(const QLayer& q, std::int64_t channel) {
   return q.wscales.size() > 1 ? q.wscales[static_cast<std::size_t>(channel)]
@@ -43,6 +36,25 @@ std::int64_t weight_fanin(const QLayer& q) {
   return q.kind == QLayerKind::kConv2d ? q.in_channels * q.kernel * q.kernel
                                        : q.in_features;
 }
+
+std::int32_t bias_code_to_i32(const QLayer& q, std::int64_t channel,
+                              std::int8_t code) {
+  const double acc_scale = static_cast<double>(q.in_scale) *
+                           static_cast<double>(wscale_for(q, channel));
+  const double bias_real = static_cast<double>(q.bias_scale) * code;
+  return static_cast<std::int32_t>(std::clamp<long long>(
+      std::llround(bias_real / acc_scale),
+      std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max()));
+}
+
+namespace {
+
+constexpr std::uint32_t kQuantMagic = 0x384D5144;  // "DQM8"
+constexpr std::uint32_t kQuantVersion = 1;
+/// Per-layer allowance for the float32 arithmetic of the reference forward
+/// (the bound compares exact integer execution against a float32 baseline).
+constexpr double kFloatSlack = 1e-5;
 
 /// int32 accumulator + int32 bias with saturation (hardware adders clamp,
 /// they do not wrap).
@@ -221,14 +233,7 @@ namespace {
 /// bias_i32 entry for one channel — the exact formula refresh uses, shared
 /// with poke_code so a single-channel patch is bit-identical to a rebuild.
 std::int32_t bias_i32_for(const QLayer& q, std::int64_t c) {
-  const double acc_scale =
-      static_cast<double>(q.in_scale) * static_cast<double>(wscale_for(q, c));
-  const double bias_real = static_cast<double>(q.bias_scale) *
-                           q.bias_codes[static_cast<std::size_t>(c)];
-  return static_cast<std::int32_t>(std::clamp<long long>(
-      std::llround(bias_real / acc_scale),
-      std::numeric_limits<std::int32_t>::min(),
-      std::numeric_limits<std::int32_t>::max()));
+  return bias_code_to_i32(q, c, q.bias_codes[static_cast<std::size_t>(c)]);
 }
 
 void refresh_layer_derived(QLayer& q) {

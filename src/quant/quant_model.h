@@ -95,6 +95,25 @@ struct QTensorView {
   bool is_bias = false;
 };
 
+// ---- Layer-geometry helpers (shared by the engine, src/fault/ and
+// src/analysis/) ----
+
+/// Weight scale of output channel `channel` (per-tensor models share entry 0).
+float wscale_for(const QLayer& q, std::int64_t channel);
+
+/// Output channels (conv) / output features (dense) of a parameter layer.
+std::int64_t weight_channels(const QLayer& q);
+
+/// Codes per output channel: in_c * k * k (conv) / in_features (dense).
+std::int64_t weight_fanin(const QLayer& q);
+
+/// The accumulator-grid bias value channel `channel` would carry if its bias
+/// code were `code` — bit-identical to the rounding refresh_derived() and
+/// poke_code apply. Lets static analyses reason about bias-code faults
+/// without mutating a model.
+std::int32_t bias_code_to_i32(const QLayer& q, std::int64_t channel,
+                              std::int8_t code);
+
 /// The quantized model (value type; copies get a fresh workspace).
 class QuantModel {
  public:

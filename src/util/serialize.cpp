@@ -102,7 +102,7 @@ std::string ByteReader::read_string() {
 std::vector<float> ByteReader::read_f32_array(std::size_t n) {
   require(n * sizeof(float));
   std::vector<float> v(n);
-  std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(float));
+  if (n != 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(float));
   pos_ += n * sizeof(float);
   return v;
 }
@@ -118,7 +118,7 @@ std::vector<std::uint8_t> ByteReader::read_bytes(std::size_t n) {
 std::vector<std::uint64_t> ByteReader::read_u64_array(std::size_t n) {
   require(n * sizeof(std::uint64_t));
   std::vector<std::uint64_t> v(n);
-  std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(std::uint64_t));
+  if (n != 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(std::uint64_t));
   pos_ += n * sizeof(std::uint64_t);
   return v;
 }

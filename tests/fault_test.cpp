@@ -535,7 +535,11 @@ TEST(QualifyTest, VendorShipsFaultQualifiedBundleAndUserReproduces) {
 
   EXPECT_EQ(shipped.manifest.fault_model, "stuck-at");
   EXPECT_GT(shipped.manifest.fault_universe, 0);
-  EXPECT_EQ(shipped.manifest.fault_universe, report.fault_stats.collapsed);
+  EXPECT_EQ(shipped.manifest.fault_universe, report.fault_stats.scored);
+  EXPECT_EQ(report.fault_stats.scored, report.fault_stats.collapsed);
+  EXPECT_GT(report.fault_stats.untestable, 0);
+  EXPECT_GE(report.fault_stats.enumerated - report.fault_stats.untestable,
+            report.fault_stats.collapsed);
   EXPECT_EQ(shipped.manifest.fault_detected, report.fault_stats.detected);
   EXPECT_EQ(shipped.suite.size(),
             static_cast<std::size_t>(report.fault_stats.kept_tests));
@@ -555,7 +559,7 @@ TEST(QualifyTest, VendorShipsFaultQualifiedBundleAndUserReproduces) {
   const auto validator = pipeline::UserValidator::load_file(path, kKey);
   EXPECT_TRUE(validator.validate().passed);
   const fault::FaultQualification remeasured = validator.fault_coverage();
-  EXPECT_EQ(remeasured.collapsed, shipped.manifest.fault_universe);
+  EXPECT_EQ(remeasured.scored, shipped.manifest.fault_universe);
   EXPECT_EQ(remeasured.detected, shipped.manifest.fault_detected);
   std::filesystem::remove(path);
 
