@@ -1,14 +1,29 @@
 // Extension — datasheet-style timing of the two IP models on a systolic
 // accelerator, and the cost of replaying a 50-test validation suite.
+//
+// Emits the standard BENCH schema (--json [family], --baseline,
+// --max-regress) like the perf benches. Every metric here is ANALYTIC —
+// cycle counts from the closed-form cost model, no wall clocks — so the
+// committed baselines are exact and the default regression budget is tight:
+// any drift means the cost model or the zoo geometry changed, not noise.
+// Every estimate is hard-gated through analysis::verify_systolic_cost
+// before it is reported.
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "analysis/verifier.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "ip/systolic.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace dnnv;
-  const CliArgs args(argc, argv, {"rows", "cols", "paper-scale", "retrain"});
+  const CliArgs args(argc, argv,
+                     {"rows", "cols", "paper-scale", "retrain", "tiny",
+                      "json", "baseline", "max-regress"});
   bench::banner("bench_ext_systolic_timing",
                 "extension — systolic-array cost model for the IP models");
 
@@ -19,10 +34,22 @@ int main(int argc, char** argv) {
             << config.frequency_mhz << " MHz, "
             << config.memory_bytes_per_cycle << " B/cycle weight memory\n\n";
 
-  const auto options = bench::zoo_options(args);
+  auto options = bench::zoo_options(args);
+  options.tiny = args.get_bool("tiny", false);
+  std::vector<bench::BenchMetric> metrics;
   for (const bool use_cifar : {false, true}) {
     auto trained = use_cifar ? exp::cifar_relu(options) : exp::mnist_tanh(options);
     const auto cost = ip::estimate_cost(trained.model, trained.item_shape, config);
+    // The cost model's own invariants (cycles == max(compute, memory),
+    // compute never below the MAC-array peak bound, coherent totals) are a
+    // correctness gate, not a metric: fail loudly before reporting numbers.
+    const auto findings = analysis::verify_systolic_cost(cost, config);
+    for (const auto& finding : findings) {
+      std::cout << "  " << finding.format() << "\n";
+    }
+    DNNV_CHECK(!analysis::has_errors(findings),
+               trained.name << ": systolic cost estimate violates the timing "
+                            << "model's invariants");
     std::cout << trained.name << " (" << cost.total_macs / 1e6 << " MMACs):\n";
     TablePrinter table({"layer", "MACs", "cycles", "bound"});
     for (const auto& layer : cost.layers) {
@@ -40,9 +67,47 @@ int main(int argc, char** argv) {
               << " cycles = " << format_double(
                      static_cast<double>(replay) / config.frequency_mhz, 1)
               << " us (weights resident after the first test)\n\n";
+
+    metrics.push_back({trained.name + "_total_cycles",
+                       static_cast<double>(cost.total_cycles), "cycles",
+                       false});
+    metrics.push_back({trained.name + "_latency_us", cost.latency_us(config),
+                       "us", false});
+    metrics.push_back({trained.name + "_utilization_pct",
+                       cost.utilization(config) * 100.0, "pct", true});
+    metrics.push_back({trained.name + "_replay50_cycles",
+                       static_cast<double>(replay), "cycles", false});
   }
   std::cout << "validation cost is microseconds-scale even on a small array — "
                "the paper's premise that users can re-validate on every boot "
                "holds comfortably.\n";
+
+  if (args.has("json")) {
+    const std::map<std::string, std::string> json_config = {
+        {"rows", std::to_string(config.rows)},
+        {"cols", std::to_string(config.cols)},
+        {"tiny", options.tiny ? "1" : "0"},
+        {"paper_scale", options.paper_scale ? "1" : "0"}};
+    bench::write_bench_json(
+        bench::resolve_json_out("ext_systolic_timing",
+                                args.get_string("json", "")),
+        "ext_systolic_timing", json_config, metrics);
+  }
+  if (args.has("baseline")) {
+    // Analytic metrics: the default budget is a hair above zero only to
+    // absorb float printing, not measurement noise.
+    const double max_regress = args.get_double("max-regress", 0.1);
+    const int regressions = bench::diff_against_baseline(
+        metrics,
+        bench::resolve_baseline_arg("ext_systolic_timing",
+                                    args.get_string("baseline", "")),
+        max_regress);
+    if (regressions > 0) {
+      std::cout << regressions << " metric(s) regressed beyond "
+                << max_regress << "%\n";
+      return 1;
+    }
+    std::cout << "no regressions beyond " << max_regress << "%\n";
+  }
   return 0;
 }

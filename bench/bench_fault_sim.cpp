@@ -1,17 +1,24 @@
 // bench_fault_sim — batched fault simulation vs the sequential
 // inject→predict→revert loop, on both zoo models.
 //
-// For each model: quantize, generate a functional suite, enumerate the
-// stuck-at fault universe, statically prune the provably untestable faults
-// (analysis::classify_universe — every pruned fault is also simulated once
-// and REQUIRED undetected, the soundness contract), structurally collapse
-// the remainder, then score the whole suite against the whole universe twice — run_sequential (one QuantizedIp,
+// For each model: quantize, generate a functional suite, enumerate the FULL
+// fault universe (stuck-at + requant + accumulator) UNCAPPED, then run the
+// static ATPG stage over the affine range analysis:
+//   1. untestable prune (analysis::classify_universe) — every pruned fault
+//      is also simulated once and REQUIRED undetected (soundness contract);
+//   2. dominance collapse (analysis::analyze_dominance) — a sample of the
+//      dropped faults is simulated next to its representatives and every
+//      test detecting a representative is REQUIRED to detect its dominated
+//      fault (the implication contract).
+// static_prune_pct = (untestable + dominated) / raw is the headline static
+// metric. The surviving set is structurally collapsed and evenly thinned to
+// --fault-budget, then scored twice — run_sequential (one QuantizedIp,
 // ip::FaultInjector byte faults, full derived-state rebuild per fault) and
 // run_batched (one clean traced forward, O(layer) point faults, resume from
 // the fault site). The two fault×test matrices are REQUIRED to be
 // bit-identical (first_detected, clean labels and every row compared; any
-// mismatch is a hard failure, not a metric). The headline metric is the
-// batched/sequential speedup, gated by --min-speedup (default 3).
+// mismatch is a hard failure, not a metric). The headline perf metric is
+// the batched/sequential speedup, gated by --min-speedup (default 3).
 //
 // The detection matrix then drives the dominance analysis + greedy suite
 // compaction, and the compacted suite's detected-fault set is verified
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/affine_domain.h"
 #include "analysis/range_analysis.h"
 #include "analysis/testability.h"
 #include "bench/bench_common.h"
@@ -52,6 +60,7 @@ struct ModelRun {
   std::string name;
   std::size_t enumerated = 0;
   std::size_t untestable = 0;
+  std::size_t dominated = 0;
   double static_prune_pct = 0.0;
   double prune_ms = 0.0;
   std::size_t scored = 0;
@@ -68,6 +77,24 @@ struct ModelRun {
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+/// Evenly thins `universe` to at most `budget` faults (same spacing rule as
+/// UniverseConfig::max_faults, applied after the static stage so pruning is
+/// measured on the whole universe but simulation stays bounded).
+fault::FaultUniverse thin_universe(const fault::FaultUniverse& universe,
+                                   std::int64_t budget) {
+  const auto size = static_cast<std::int64_t>(universe.size());
+  if (budget <= 0 || size <= budget) {
+    fault::FaultUniverse all;
+    for (std::size_t i = 0; i < universe.size(); ++i) all.add(universe[i]);
+    return all;
+  }
+  fault::FaultUniverse thinned;
+  for (std::int64_t j = 0; j < budget; ++j) {
+    thinned.add(universe[static_cast<std::size_t>(j * size / budget)]);
+  }
+  return thinned;
 }
 
 /// Hard bit-identity check between the two simulators' results.
@@ -145,41 +172,82 @@ int main(int argc, char** argv) {
       const auto suite = validate::TestSuite::from_labels(inputs, golden);
       run.tests = suite.size();
 
-      // Stuck-at universe: static testability prune (interval analysis),
-      // then structural collapse of the possibly-testable remainder — the
-      // same staging qualify_suite runs.
-      fault::UniverseConfig config = fault::universe_config("stuck-at");
-      config.max_faults = budget;
-      const auto raw = fault::FaultUniverse::enumerate(qmodel, config);
+      // FULL fault universe, uncapped: the static ATPG stage (affine range
+      // analysis, untestable prune, dominance collapse) is cheap enough to
+      // run over every enumerated fault — the same staging qualify_suite
+      // runs; only simulation is thinned to the budget.
+      const auto raw =
+          fault::FaultUniverse::enumerate(qmodel, fault::universe_config("full"));
       run.enumerated = raw.size();
       auto t_prune = Clock::now();
-      const auto range = analysis::analyze_ranges(qmodel);
+      analysis::RangeOptions range_options;
+      range_options.item_dims = trained.item_shape.dims();
+      const auto range = analysis::analyze_ranges_affine(qmodel, range_options);
       const auto report = analysis::classify_universe(qmodel, range, raw);
       const auto possibly = analysis::prune_untestable(raw, report);
+      const auto dom = analysis::analyze_dominance(qmodel, range, possibly);
+      const auto kept = analysis::prune_dominated(possibly, dom);
       run.prune_ms = ms_since(t_prune);
       run.untestable = report.untestable;
+      run.dominated = dom.count;
       run.static_prune_pct =
           raw.empty() ? 0.0
-                      : 100.0 * static_cast<double>(report.untestable) /
+                      : 100.0 *
+                            static_cast<double>(report.untestable + dom.count) /
                             static_cast<double>(raw.size());
-      const auto universe = fault::collapse_structural(possibly, qmodel);
+      const auto universe =
+          thin_universe(fault::collapse_structural(kept, qmodel), budget);
       run.scored = universe.size();
-      fault::FaultUniverse pruned_set;
-      for (std::size_t i = 0; i < raw.size(); ++i) {
-        if (report.is_untestable(i)) pruned_set.add(raw[i]);
-      }
 
       fault::FaultSimulator sim(qmodel, suite);
       fault::SimOptions sim_options;  // full matrix, int8, shared pool
 
       // Soundness cross-check, enforced like the bit-identity contract:
       // every statically pruned fault must be undetected when simulated.
+      fault::FaultUniverse pruned_set;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (report.is_untestable(i)) pruned_set.add(raw[i]);
+      }
+      pruned_set = thin_universe(pruned_set, budget);
       if (!pruned_set.empty()) {
         const fault::SimResult check = sim.run_batched(pruned_set, sim_options);
         DNNV_CHECK(check.detected == 0,
                    run.name << ": " << check.detected
                             << " statically pruned fault(s) detected by "
                                "simulation — prune is UNSOUND");
+      }
+
+      // Implication cross-check for the dominance collapse: on an even
+      // sample of dropped faults, every test that detects the kept
+      // representative must also detect the dropped fault (det(rep) =>
+      // det(dominated) is exactly what justified dropping it).
+      {
+        std::vector<std::size_t> dom_idx;
+        for (std::size_t i = 0; i < possibly.size(); ++i) {
+          if (dom.dominated[i] != 0) dom_idx.push_back(i);
+        }
+        const std::size_t sample = 128;
+        const std::size_t step =
+            dom_idx.size() > sample ? dom_idx.size() / sample : 1;
+        fault::FaultUniverse dropped;
+        fault::FaultUniverse reps;
+        for (std::size_t s = 0; s < dom_idx.size(); s += step) {
+          dropped.add(possibly[dom_idx[s]]);
+          reps.add(possibly[dom.representative[dom_idx[s]]]);
+        }
+        if (!dropped.empty()) {
+          const fault::SimResult dr = sim.run_batched(dropped, sim_options);
+          const fault::SimResult rr = sim.run_batched(reps, sim_options);
+          for (std::size_t p = 0; p < dr.rows.size(); ++p) {
+            DNNV_CHECK(rr.rows[p].count_common_bits(dr.rows[p]) ==
+                           rr.rows[p].count(),
+                       run.name << ": dominated fault " << dropped[p].describe()
+                                << " missed by a test that detects its "
+                                   "representative "
+                                << reps[p].describe()
+                                << " — dominance is UNSOUND");
+          }
+        }
       }
 
       // Best-of-reps wall time for both loops; results must agree on EVERY
@@ -241,14 +309,15 @@ int main(int argc, char** argv) {
           {run.name + "_pruned_sim_ms", run.batched_ms, "ms", false});
     }
 
-    TablePrinter table({"model", "faults (raw)", "untestable", "tests",
+    TablePrinter table({"model", "faults (raw)", "static prune", "tests",
                         "seq ms", "batched ms", "speedup", "detected", "core",
                         "kept tests", "compact drop"});
     for (const ModelRun& run : runs) {
       table.add_row({run.name,
                      std::to_string(run.scored) + " (" +
                          std::to_string(run.enumerated) + ")",
-                     std::to_string(run.untestable) + " (" +
+                     std::to_string(run.untestable) + "+" +
+                         std::to_string(run.dominated) + " (" +
                          format_double(run.static_prune_pct, 1) + "%)",
                      std::to_string(run.tests), format_double(run.seq_ms, 1),
                      format_double(run.batched_ms, 1),
@@ -286,6 +355,8 @@ int main(int argc, char** argv) {
           bench::resolve_json_out("fault_sim", args.get_string("json", ""));
       std::map<std::string, std::string> config;
       config["quick"] = quick ? "1" : "0";
+      config["preset"] = "full";
+      config["domain"] = "affine";
       config["tests"] = std::to_string(num_tests);
       config["fault_budget"] = std::to_string(budget);
       config["reps"] = std::to_string(reps);

@@ -1,0 +1,56 @@
+// Relational affine-form (zonotope) range analysis over the QuantModel IR.
+//
+// The interval pass (analyze_ranges) treats every tap of a qconv/qgemm
+// fan-in as independent, so accumulator hulls are sum-of-independent-taps
+// wide. This pass carries CORRELATION: every quantize-layer output neuron
+// gets a noise symbol, and each downstream neuron's value is tracked as an
+// uncentered affine form over those symbols
+//
+//   v = (bias + sum_k coef[k] * x_k + e) / 2^kAffineFracBits,
+//   x_k in [sym_lo[k], sym_hi[k]],  |e| <= slack / 2^kAffineFracBits,
+//
+// with the engine's exact integer semantics: forms are EXACT through the
+// linear qconv/qgemm accumulation and the bias add (fixed-point int64
+// coefficients, __int128 intermediates, every rounding folded into slack),
+// and are linearized through the non-linear Q31 requant and LUT steps with
+// an exactly-computed error band (monotone segment walk for requant, full
+// code enumeration for the LUT). MaxPool keeps the dominant window form and
+// widens by the exact worst-case gap to the other windows, so relational
+// content survives pooling. Sign cancellation across a layer-2 fan-in —
+// sum_i |sum_j w2_j lam_j w1_ji| instead of sum_j |w2_j| lam_j sum_i |w1_ji|
+// — is where the tightening comes from.
+//
+// Soundness: every form is pointwise correct at the real symbol values of
+// any input, so its concretization encloses the reachable set; every
+// exported hull is additionally MET (intersected) with the interval pass's
+// hull over the same options. The result is therefore NEVER wider than
+// analyze_ranges — the enclosure the tests assert — and the overflow flag
+// can only be cleared (the affine raw-sum hull proving the wrap impossible),
+// never set where the interval pass proved absence.
+#ifndef DNNV_ANALYSIS_AFFINE_DOMAIN_H_
+#define DNNV_ANALYSIS_AFFINE_DOMAIN_H_
+
+#include "analysis/range_analysis.h"
+
+namespace dnnv::analysis {
+
+/// Fixed-point fraction bits of affine-form coefficients/bias/slack.
+inline constexpr int kAffineFracBits = 20;
+
+/// Runs the affine pass over `model` under `options` (same input-domain
+/// semantics as analyze_ranges). Deterministic; pure integer arithmetic.
+/// Degrades to the interval result (sound, just not tighter) when the
+/// model's form storage would exceed an internal memory ceiling — tiny/
+/// default zoo scales run fully relational.
+ModelRange analyze_ranges_affine(const quant::QuantModel& model,
+                                 const RangeOptions& options = {});
+
+/// Domain dispatch: analyze_ranges (kInterval) or analyze_ranges_affine
+/// (kAffine).
+ModelRange analyze_ranges_with(RangeDomain domain,
+                               const quant::QuantModel& model,
+                               const RangeOptions& options = {});
+
+}  // namespace dnnv::analysis
+
+#endif  // DNNV_ANALYSIS_AFFINE_DOMAIN_H_

@@ -1,10 +1,12 @@
 #include "analysis/verifier.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "analysis/range_analysis.h"
+#include "ip/systolic.h"
 #include "pipeline/deliverable.h"
 #include "quant/qops.h"
 #include "quant/quantize.h"
@@ -388,6 +390,32 @@ std::vector<Finding> verify_deliverable(const pipeline::Deliverable& bundle) {
                " of ", m.fault_universe);
     }
   }
+  // Static-analysis provenance (manifest v4): the user side re-runs the
+  // vendor's classification from these fields, so they must be coherent.
+  if (m.analysis_domain != "interval" && m.analysis_domain != "affine") {
+    sink.add(Severity::kError, "manifest-analysis", "manifest",
+             "unknown analysis domain '", m.analysis_domain,
+             "' (interval|affine)");
+  }
+  if (m.fault_dominated < 0 || m.fault_conditional < 0) {
+    sink.add(Severity::kError, "manifest-analysis", "manifest",
+             "negative static-analysis counts: dominated ", m.fault_dominated,
+             ", conditional ", m.fault_conditional);
+  }
+  if (static_cast<std::int64_t>(m.excitations.size()) != m.fault_conditional) {
+    sink.add(Severity::kError, "manifest-analysis", "manifest", "carries ",
+             m.excitations.size(), " excitation target(s) for ",
+             m.fault_conditional, " conditionally masked fault(s)");
+  }
+  for (const Interval& domain : m.input_domains) {
+    if (domain.lo > domain.hi || domain.lo < quant::kQmin ||
+        domain.hi > quant::kQmax) {
+      sink.add(Severity::kError, "manifest-analysis", "manifest",
+               "calibrated input domain [", domain.lo, ", ", domain.hi,
+               "] outside the symmetric int8 code grid");
+      break;
+    }
+  }
   if (bundle.has_quant) {
     const int classes = bundle.qmodel.num_classes();
     std::size_t bad = 0;
@@ -398,6 +426,85 @@ std::vector<Finding> verify_deliverable(const pipeline::Deliverable& bundle) {
       sink.add(Severity::kError, "suite-labels", "suite", bad,
                " golden label(s) outside [0, ", classes, ")");
     }
+  }
+  return findings;
+}
+
+std::vector<Finding> verify_systolic(const ip::SystolicConfig& config) {
+  std::vector<Finding> findings;
+  FindingSink sink(findings);
+  const std::string loc = "systolic";
+  if (config.rows <= 0 || config.cols <= 0) {
+    sink.add(Severity::kError, "systolic-dims", loc, "MAC array ",
+             config.rows, "x", config.cols, " has a non-positive dimension");
+  } else if (config.rows > 1024 || config.cols > 1024) {
+    sink.add(Severity::kWarning, "systolic-dims", loc, "MAC array ",
+             config.rows, "x", config.cols,
+             " exceeds 1024 lanes on an axis — datasheet-implausible");
+  }
+  if (!std::isfinite(config.frequency_mhz) || config.frequency_mhz <= 0.0) {
+    sink.add(Severity::kError, "systolic-frequency", loc, "clock ",
+             config.frequency_mhz, " MHz must be finite and > 0");
+  } else if (config.frequency_mhz > 10000.0) {
+    sink.add(Severity::kWarning, "systolic-frequency", loc, "clock ",
+             config.frequency_mhz, " MHz is past any plausible core clock");
+  }
+  if (!std::isfinite(config.memory_bytes_per_cycle) ||
+      config.memory_bytes_per_cycle <= 0.0) {
+    sink.add(Severity::kError, "systolic-bandwidth", loc, "bandwidth ",
+             config.memory_bytes_per_cycle,
+             " bytes/cycle must be finite and > 0");
+  }
+  if (config.tile_overhead_cycles < 0) {
+    sink.add(Severity::kError, "systolic-overhead", loc, "tile overhead ",
+             config.tile_overhead_cycles, " cycles is negative");
+  } else if (config.tile_overhead_cycles > 4096) {
+    sink.add(Severity::kWarning, "systolic-overhead", loc, "tile overhead ",
+             config.tile_overhead_cycles,
+             " cycles would dwarf per-tile compute");
+  }
+  return findings;
+}
+
+std::vector<Finding> verify_systolic_cost(const ip::ModelCost& cost,
+                                          const ip::SystolicConfig& config) {
+  std::vector<Finding> findings = verify_systolic(config);
+  if (has_errors(findings)) return findings;  // bounds assume sane geometry
+
+  FindingSink sink(findings);
+  const std::int64_t lanes =
+      static_cast<std::int64_t>(config.rows) * config.cols;
+  std::int64_t total = 0;
+  for (std::size_t li = 0; li < cost.layers.size(); ++li) {
+    const ip::LayerCost& layer = cost.layers[li];
+    std::ostringstream os;
+    os << "L" << li << " " << (layer.name.empty() ? "?" : layer.name);
+    const std::string loc = os.str();
+    if (layer.macs < 0 || layer.weight_bytes < 0 ||
+        layer.compute_cycles < 0 || layer.memory_cycles < 0) {
+      sink.add(Severity::kError, "systolic-cost-negative", loc,
+               "negative counter in the cost entry");
+      continue;
+    }
+    if (layer.cycles !=
+        std::max(layer.compute_cycles, layer.memory_cycles)) {
+      sink.add(Severity::kError, "systolic-cycle-bound", loc, "cycles ",
+               layer.cycles, " != max(compute ", layer.compute_cycles,
+               ", memory ", layer.memory_cycles, ")");
+    }
+    // The array retires at most rows*cols MACs per cycle; a compute count
+    // below ceil(macs / lanes) claims super-peak throughput.
+    const std::int64_t floor_cycles = (layer.macs + lanes - 1) / lanes;
+    if (layer.macs > 0 && layer.compute_cycles < floor_cycles) {
+      sink.add(Severity::kError, "systolic-cycle-bound", loc, "compute ",
+               layer.compute_cycles, " cycles below the ", config.rows, "x",
+               config.cols, " peak lower bound ", floor_cycles);
+    }
+    total += layer.cycles;
+  }
+  if (total != cost.total_cycles) {
+    sink.add(Severity::kError, "systolic-total", "systolic", "total ",
+             cost.total_cycles, " cycles != per-layer sum ", total);
   }
   return findings;
 }

@@ -24,6 +24,11 @@ namespace dnnv::pipeline {
 class Deliverable;
 }
 
+namespace dnnv::ip {
+struct SystolicConfig;
+struct ModelCost;
+}
+
 namespace dnnv::analysis {
 
 enum class Severity : std::uint8_t {
@@ -60,6 +65,19 @@ std::vector<Finding> verify_model(const quant::QuantModel& model);
 /// Bundle-level checks: manifest-vs-model agreement, suite label domain,
 /// plus verify_model when an int8 artifact is shipped.
 std::vector<Finding> verify_deliverable(const pipeline::Deliverable& bundle);
+
+/// Parameter-sanity rules for the ip/systolic timing model: array dims
+/// positive (error) and plausibly sized (warning past 1024), clock /
+/// bandwidth finite and positive, tile overhead non-negative. `location` is
+/// "systolic".
+std::vector<Finding> verify_systolic(const ip::SystolicConfig& config);
+
+/// Cycle-bound invariants of an estimated ip::ModelCost against the config
+/// it was produced under: per-layer cycles == max(compute, memory), compute
+/// cycles never below the MAC-array peak lower bound ceil(macs/(rows*cols)),
+/// no negative counters, and the total equal to the per-layer sum.
+std::vector<Finding> verify_systolic_cost(const ip::ModelCost& cost,
+                                          const ip::SystolicConfig& config);
 
 bool has_errors(const std::vector<Finding>& findings);
 std::size_t count_severity(const std::vector<Finding>& findings,

@@ -490,6 +490,83 @@ TEST(PipelineTest, SaveLoadValidateAndCorruptionRejection) {
   std::filesystem::remove(path);
 }
 
+TEST(PipelineTest, ManifestV4StaticAnalysisRoundTrip) {
+  auto trained = exp::cifar_relu(tiny_options());
+  const auto pool = exp::shapes_train(60);
+
+  pipeline::VendorOptions options;
+  options.method = "greedy";
+  options.backend = "int8";
+  options.num_tests = 8;
+  options.generator.coverage = trained.coverage;
+  options.model_name = trained.name;
+  options.fault_model = "full";
+  options.fault_budget = 0;  // full universe: dominance pairs need neighbours
+  options.analysis_domain = "affine";
+  options.calibrated = true;
+
+  pipeline::VendorReport report;
+  const pipeline::Deliverable shipped =
+      pipeline::VendorPipeline(options).run(trained.model, trained.item_shape,
+                                            trained.num_classes, pool.images,
+                                            &report);
+
+  // The static-analysis provenance lands in the manifest, coherently with
+  // the run's own stats.
+  const auto& m = shipped.manifest;
+  EXPECT_EQ(m.analysis_domain, "affine");
+  ASSERT_EQ(m.input_domains.size(), 3u);  // one domain per CIFAR channel
+  for (const auto& domain : m.input_domains) {
+    EXPECT_LE(domain.lo, domain.hi);
+  }
+  EXPECT_GT(m.fault_dominated, 0);
+  EXPECT_EQ(m.fault_dominated, report.fault_stats.dominated);
+  EXPECT_EQ(m.fault_conditional, report.fault_stats.conditional);
+  EXPECT_EQ(static_cast<std::int64_t>(m.excitations.size()),
+            m.fault_conditional);
+
+  // Byte round trip preserves every v4 field.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnnv_deliverable_v4.bin")
+          .string();
+  constexpr std::uint64_t kKey = 0xFEEDF00D;
+  shipped.save_file(path, kKey);
+  const auto loaded = pipeline::Deliverable::load_file(path, kKey);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.manifest.analysis_domain, m.analysis_domain);
+  ASSERT_EQ(loaded.manifest.input_domains.size(), m.input_domains.size());
+  for (std::size_t i = 0; i < m.input_domains.size(); ++i) {
+    EXPECT_EQ(loaded.manifest.input_domains[i], m.input_domains[i]);
+  }
+  EXPECT_EQ(loaded.manifest.fault_dominated, m.fault_dominated);
+  EXPECT_EQ(loaded.manifest.fault_conditional, m.fault_conditional);
+  ASSERT_EQ(loaded.manifest.excitations.size(), m.excitations.size());
+  for (std::size_t i = 0; i < m.excitations.size(); ++i) {
+    EXPECT_EQ(loaded.manifest.excitations[i].fault_id,
+              m.excitations[i].fault_id);
+    EXPECT_EQ(loaded.manifest.excitations[i].layer, m.excitations[i].layer);
+    EXPECT_EQ(loaded.manifest.excitations[i].channel,
+              m.excitations[i].channel);
+    EXPECT_EQ(loaded.manifest.excitations[i].acc, m.excitations[i].acc);
+  }
+
+  // The user side re-runs the vendor's classification from the manifest
+  // alone (same domain, same calibrated conditioning) and reproduces every
+  // count exactly — the vendor-user contract of the fault stage.
+  const auto remeasured = pipeline::fault_coverage(loaded);
+  EXPECT_EQ(remeasured.enumerated, report.fault_stats.enumerated);
+  EXPECT_EQ(remeasured.untestable, report.fault_stats.untestable);
+  EXPECT_EQ(remeasured.dominated, report.fault_stats.dominated);
+  EXPECT_EQ(remeasured.conditional, report.fault_stats.conditional);
+  EXPECT_EQ(remeasured.scored, m.fault_universe);
+  EXPECT_EQ(remeasured.detected, m.fault_detected);
+  ASSERT_EQ(remeasured.excitations.size(), m.excitations.size());
+  for (std::size_t i = 0; i < m.excitations.size(); ++i) {
+    EXPECT_EQ(remeasured.excitations[i].fault_id, m.excitations[i].fault_id);
+    EXPECT_EQ(remeasured.excitations[i].acc, m.excitations[i].acc);
+  }
+}
+
 TEST(PipelineTest, TamperedDeviceIsCaught) {
   auto trained = exp::cifar_relu(tiny_options());
   const auto pool = exp::shapes_train(60);
